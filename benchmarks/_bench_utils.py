@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper at a laptop
+scale, times it with pytest-benchmark, and prints the reproduced rows/series
+so that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` leaves
+an auditable record of the reproduction next to the timing numbers.
+
+Scale can be increased via the ``REPRO_BENCH_SCALE`` environment variable:
+``quick`` (default) or ``paper`` (larger sizes, substantially slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_scale", "run_once", "emit"]
+
+
+def bench_scale() -> str:
+    """Benchmark scale selected via the REPRO_BENCH_SCALE environment variable."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are too expensive to repeat for statistical timing, and
+    their interesting output is the reproduced table, not the wall-clock
+    distribution, so a single round is sufficient.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(result, columns=None, note: str = "") -> None:
+    """Print an experiment result table into the captured benchmark output."""
+    print()
+    print("=" * 78)
+    print(result.to_table(columns))
+    if note:
+        print(note)
+    print("=" * 78)

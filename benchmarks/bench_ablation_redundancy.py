@@ -1,0 +1,60 @@
+"""Benchmark E11 — gather-redundancy ablation of the memory model.
+
+Compares the robustness of Algorithm 2's gathering phase when it replays all
+recorded Phase I contacts (the literal pseudocode, several disjoint paths per
+message) against a strict spanning tree (only first-informing contacts).
+Expected: identical behaviour without failures, but the strict tree loses
+markedly more healthy messages once a large fraction of nodes crash — it is
+the configuration whose loss ratios resemble the magnitudes of the paper's
+Figure 2 most closely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import RobustnessConfig
+from repro.experiments.ablation_redundancy import (
+    REDUNDANCY_COLUMNS,
+    run_redundancy_ablation,
+)
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> RobustnessConfig:
+    if scale == "paper":
+        return RobustnessConfig.paper_scale()
+    return RobustnessConfig(
+        size=1024,
+        failed_fractions=(0.0, 0.1, 0.3),
+        repetitions=2,
+    )
+
+
+def test_redundancy_ablation(benchmark, scale):
+    """Regenerate the redundancy ablation and check the expected ordering."""
+    result = run_once(benchmark, run_redundancy_ablation, _config(scale))
+    emit(
+        result,
+        REDUNDANCY_COLUMNS,
+        note=(
+            "Expected: no losses without failures in either mode; under heavy\n"
+            "failures the strict 'first'-contact tree loses at least as many\n"
+            "messages as the redundant 'all'-contacts structure."
+        ),
+    )
+    by_key = {(row["gather_contacts"], row["failed"]): row for row in result.rows}
+    failed_counts = sorted({row["failed"] for row in result.rows})
+    # No losses in the failure-free runs for either mode.
+    assert by_key[("all", 0)]["additional_lost"] == 0.0
+    assert by_key[("first", 0)]["additional_lost"] == 0.0
+    # The strict tree is never more robust than the redundant structure.
+    largest = failed_counts[-1]
+    assert (
+        by_key[("first", largest)]["additional_lost"]
+        >= by_key[("all", largest)]["additional_lost"]
+    )
+    # The redundant structure costs at least as many packets per node.
+    assert (
+        by_key[("all", 0)]["messages_per_node"]
+        >= by_key[("first", 0)]["messages_per_node"]
+    )

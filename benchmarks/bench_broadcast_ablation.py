@@ -1,0 +1,51 @@
+"""Benchmark E8 — broadcast-vs-gossip density separation ablation.
+
+Background of the paper: efficient broadcasting (Karp et al.) achieves
+``O(log log n)`` packets per node on complete graphs, which is provably not
+achievable on sparse random graphs, while gossiping (this paper) is equally
+cheap on both.  The ablation measures both tasks on both topologies.  At
+laptop scales the asymptotic broadcast separation is faint, so the assertions
+only check the gossiping side (flat across topologies) and report the
+broadcast numbers for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import BroadcastAblationConfig, run_broadcast_ablation
+from repro.experiments.broadcast_vs_gossip import BROADCAST_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> BroadcastAblationConfig:
+    if scale == "paper":
+        return BroadcastAblationConfig.paper_scale()
+    return BroadcastAblationConfig(sizes=(256, 512, 1024), repetitions=2)
+
+
+def test_broadcast_vs_gossip_separation(benchmark, scale):
+    """Regenerate the ablation table; gossiping must be topology-insensitive."""
+    result = run_once(benchmark, run_broadcast_ablation, _config(scale))
+    emit(
+        result,
+        BROADCAST_COLUMNS,
+        note=(
+            "Gossiping (memory model) costs are expected to match across sparse and\n"
+            "complete topologies; the broadcasting separation is asymptotic and only\n"
+            "becomes pronounced at much larger n (reported here for reference)."
+        ),
+    )
+    sizes = sorted({row["n"] for row in result.rows})
+    for n in sizes:
+        gossip = {
+            row["topology"]: row["messages_per_node"]
+            for row in result.rows
+            if row["n"] == n and row["task"] == "gossip-memory"
+        }
+        # Same constant on both topologies (within 35%).
+        assert abs(gossip["sparse"] - gossip["complete"]) <= 0.35 * gossip["complete"]
+    # Gossiping cost stays bounded while n quadruples.
+    gossip_costs = [
+        row["messages_per_node"] for row in result.rows if row["task"] == "gossip-memory"
+    ]
+    assert max(gossip_costs) < 10.0

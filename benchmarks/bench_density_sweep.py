@@ -1,0 +1,37 @@
+"""Benchmark E7 — density sweep extension (the paper's titular question).
+
+At fixed ``n`` the expected degree is swept from ``log²n`` up to the complete
+graph.  Expected: the per-node message cost of each gossiping protocol is
+essentially flat across densities — the influence of graph density on
+randomized gossiping is small, which is the paper's thesis.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import DensitySweepConfig, run_density_sweep
+from repro.experiments.density_sweep import DENSITY_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> DensitySweepConfig:
+    if scale == "paper":
+        return DensitySweepConfig.paper_scale()
+    return DensitySweepConfig(size=512, repetitions=2)
+
+
+def test_density_sweep_flatness(benchmark, scale):
+    """Regenerate the density sweep and check the flatness of the cost curves."""
+    result = run_once(benchmark, run_density_sweep, _config(scale))
+    emit(
+        result,
+        DENSITY_COLUMNS,
+        note=(
+            "Expected (paper thesis): per-node gossiping cost is essentially flat\n"
+            "from G(n, log^2 n / n) up to the complete graph."
+        ),
+    )
+    flatness = result.metadata["max_over_min_cost_ratio"]
+    assert flatness["memory"] < 2.0
+    assert flatness["fast-gossiping"] < 2.5
+    assert flatness["push-pull"] < 2.0

@@ -1,0 +1,43 @@
+"""Benchmark E1 — regenerate Figure 1 (messages per node vs graph size).
+
+Paper reference: Figure 1 compares the average number of messages sent per
+node for plain push–pull, fast-gossiping (Algorithm 1) and the memory model
+(Algorithm 2) on ``G(n, log²n/n)`` with n from 10³ to 10⁶.  Expected shape:
+push–pull grows ``Theta(log n)`` and is the most expensive; fast-gossiping is
+cheaper with a widening gap; the memory model stays below a small constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SizeSweepConfig, run_figure1
+from repro.experiments.figure1 import FIGURE1_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> SizeSweepConfig:
+    if scale == "paper":
+        return SizeSweepConfig.paper_scale()
+    return SizeSweepConfig(sizes=(256, 512, 1024, 2048), repetitions=2)
+
+
+def test_figure1_messages_per_node(benchmark, scale):
+    """Regenerate the Figure 1 series and check the qualitative ordering."""
+    result = run_once(benchmark, run_figure1, _config(scale))
+    emit(
+        result,
+        FIGURE1_COLUMNS,
+        note=(
+            "Expected (paper Fig. 1): push-pull > fast-gossiping > memory at every n;\n"
+            "push-pull grows with n, memory stays bounded by a small constant."
+        ),
+    )
+    for n in {row["n"] for row in result.rows}:
+        per_protocol = {
+            row["protocol"]: row["messages_per_node"]
+            for row in result.rows
+            if row["n"] == n
+        }
+        assert per_protocol["memory"] < per_protocol["fast-gossiping"] < per_protocol["push-pull"]
+    memory_costs = [r["messages_per_node"] for r in result.rows if r["protocol"] == "memory"]
+    assert max(memory_costs) < 12.0

@@ -1,0 +1,45 @@
+"""Benchmark E3 — regenerate Figure 2 (memory-model robustness, single size).
+
+Paper reference: Figure 2 shows, on a 10⁶-node ``G(n, log²n/n)`` graph with
+three independently built communication trees, the ratio of additional lost
+healthy messages to the number of failed nodes ``F`` (failures injected right
+before Phase II).  Expected shape: ratio ≈ 0 for small ``F`` and growing once
+a substantial fraction of the network fails.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import RobustnessConfig, run_figure2
+from repro.experiments.figure2 import FIGURE2_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> RobustnessConfig:
+    if scale == "paper":
+        return RobustnessConfig.paper_scale()
+    return RobustnessConfig(
+        size=1024,
+        failed_fractions=(0.0, 0.05, 0.1, 0.2, 0.4),
+        repetitions=2,
+    )
+
+
+def test_figure2_robustness_ratio(benchmark, scale):
+    """Regenerate the Figure 2 loss-ratio curve and check its shape."""
+    result = run_once(benchmark, run_figure2, _config(scale))
+    emit(
+        result,
+        FIGURE2_COLUMNS,
+        note=(
+            "Expected (paper Fig. 2): loss ratio ~0 for small F, increasing once a\n"
+            "large fraction of the network fails; never catastrophic."
+        ),
+    )
+    rows = sorted(result.rows, key=lambda r: r["failed"])
+    assert rows[0]["additional_lost"] == 0.0
+    # Small failure counts lose (almost) nothing thanks to the 3-tree redundancy.
+    small = [r for r in rows if r["failed_fraction"] <= 0.05]
+    assert all(r["loss_ratio"] <= 0.05 for r in small)
+    # The ratio does not decrease from the smallest to the largest failure count.
+    assert rows[-1]["loss_ratio"] >= rows[0]["loss_ratio"]

@@ -1,0 +1,41 @@
+"""Benchmark E4 — regenerate Figure 3 (robustness at two graph sizes).
+
+Paper reference: Figure 3 repeats the Figure 2 study on 100,000- and
+500,000-node graphs; the loss-ratio curve has the same qualitative shape at
+both sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import RobustnessConfig, run_figure3
+from repro.experiments.figure3 import FIGURE3_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _setup(scale: str):
+    if scale == "paper":
+        return RobustnessConfig.paper_scale(size=8192), (8192, 16384)
+    config = RobustnessConfig(
+        size=512,
+        failed_fractions=(0.0, 0.1, 0.3),
+        repetitions=2,
+    )
+    return config, (512, 1024)
+
+
+def test_figure3_two_sizes(benchmark, scale):
+    """Regenerate the Figure 3 curves and check both sizes behave alike."""
+    config, sizes = _setup(scale)
+    result = run_once(benchmark, run_figure3, config, sizes=sizes)
+    emit(
+        result,
+        FIGURE3_COLUMNS,
+        note="Expected (paper Fig. 3): same qualitative loss-ratio shape at both sizes.",
+    )
+    for n in sizes:
+        series = sorted(
+            (r for r in result.rows if r["n"] == n), key=lambda r: r["failed"]
+        )
+        assert series[0]["additional_lost"] == 0.0
+        assert series[-1]["loss_ratio"] >= series[0]["loss_ratio"]

@@ -1,0 +1,41 @@
+"""Benchmark E2 — regenerate Figure 4 (fast-gossiping detail view).
+
+Paper reference: Figure 4 zooms into the fast-gossiping series of Figure 1 on
+a finer grid of sizes; the cost jumps whenever a ceil'd phase length grows and
+*decreases slightly* between jumps because the random-walk probability
+``1/log n`` keeps shrinking while the schedule stays constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SizeSweepConfig, run_figure4
+from repro.experiments.figure4 import FIGURE4_COLUMNS, default_figure4_config
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> SizeSweepConfig:
+    if scale == "paper":
+        return SizeSweepConfig(
+            sizes=(2048, 3072, 4096, 6144, 8192, 12288, 16384),
+            repetitions=3,
+            protocols=("fast-gossiping",),
+        )
+    return default_figure4_config()
+
+
+def test_figure4_fast_gossiping_detail(benchmark, scale):
+    """Regenerate the Figure 4 series and check the cost stays in its envelope."""
+    result = run_once(benchmark, run_figure4, _config(scale))
+    emit(
+        result,
+        FIGURE4_COLUMNS,
+        note=(
+            "Expected (paper Fig. 4): per-node cost moves in plateaus tied to the\n"
+            "resolved schedule; within a plateau the cost tends to decrease with n."
+        ),
+    )
+    costs = [row["messages_per_node"] for row in result.rows]
+    # The cost stays within a narrow envelope across the grid (no blow-up).
+    assert max(costs) < 3 * min(costs)
+    assert "within_plateau_deltas" in result.metadata

@@ -1,0 +1,45 @@
+"""Benchmark E5 — regenerate Figure 5 (robustness threshold exceedance).
+
+Paper reference: Figure 5 shows, for two graph sizes and a range of failed
+node counts, the percentage of runs in which more than T additional healthy
+messages were lost, for T ∈ {0, 10, 100}.  Expected: exceedance fractions for
+larger thresholds are never higher than for smaller ones, and even thousands
+of failures rarely lose more than a handful of additional messages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import RobustnessDetailConfig, run_figure5
+from repro.experiments.figure5 import figure5_columns
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> RobustnessDetailConfig:
+    if scale == "paper":
+        return RobustnessDetailConfig.paper_scale()
+    return RobustnessDetailConfig(
+        sizes=(512, 1024),
+        thresholds=(0, 10, 100),
+        failed_fractions=(0.05, 0.2, 0.4),
+        repetitions=3,
+    )
+
+
+def test_figure5_threshold_exceedance(benchmark, scale):
+    """Regenerate the Figure 5 exceedance fractions and check their ordering."""
+    config = _config(scale)
+    result = run_once(benchmark, run_figure5, config)
+    emit(
+        result,
+        figure5_columns(config.thresholds),
+        note=(
+            "Expected (paper Fig. 5): exceedance fractions are monotone in T\n"
+            "(losing >100 messages is rarer than losing >0) and stay low for\n"
+            "moderate failure counts."
+        ),
+    )
+    for row in result.rows:
+        assert row["exceed_T100"] <= row["exceed_T10"] <= row["exceed_T0"]
+    moderate = [r for r in result.rows if r["failed_fraction"] <= 0.05]
+    assert all(r["exceed_T100"] == 0.0 for r in moderate)

@@ -1,0 +1,43 @@
+"""Benchmark E10 — leader-election cost (Algorithm 3 / Theorem 2).
+
+Theorem 2: with leader election the memory-model gossiping needs
+``O(n log log n)`` transmissions.  The benchmark measures the election's
+per-node packet cost versus ``n`` for the literal pseudocode variant
+(``Theta(log n)`` per node) and the budgeted variant (``Theta(log log n)``
+per node), and verifies the election is always won by exactly one node.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import LeaderElectionConfig, run_leader_election_cost
+from repro.experiments.leader_election_cost import ELECTION_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def _config(scale: str) -> LeaderElectionConfig:
+    if scale == "paper":
+        return LeaderElectionConfig.paper_scale()
+    return LeaderElectionConfig(sizes=(256, 512, 1024), repetitions=2)
+
+
+def test_leader_election_cost(benchmark, scale):
+    """Regenerate the election-cost table and check uniqueness + cost ordering."""
+    result = run_once(benchmark, run_leader_election_cost, _config(scale))
+    emit(
+        result,
+        ELECTION_COLUMNS,
+        note=(
+            "Expected: a unique leader in every run; the budgeted variant needs\n"
+            "markedly fewer packets per node than the literal pseudocode variant."
+        ),
+    )
+    assert all(row["unique_fraction"] == 1.0 for row in result.rows)
+    sizes = sorted({row["n"] for row in result.rows})
+    for n in sizes:
+        variants = {
+            row["variant"]: row["messages_per_node"]
+            for row in result.rows
+            if row["n"] == n
+        }
+        assert variants["budgeted"] < variants["pseudocode"]

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of single protocol runs and substrate operations.
+
+These are conventional pytest-benchmark timings (several rounds) of the hot
+building blocks: one full run of each gossiping protocol on a fixed graph,
+graph sampling, and the packed-bitset knowledge updates.  They are not tied to
+a specific paper figure; they exist so that performance regressions in the
+simulator itself are visible independently of the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FastGossiping, MemoryGossiping, PushPullGossip, erdos_renyi
+from repro.engine import KnowledgeMatrix, make_rng
+from repro.graphs import paper_edge_probability
+
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(N, paper_edge_probability(N), rng=5, require_connected=True)
+
+
+def test_push_pull_single_run(benchmark, graph):
+    """One complete push-pull gossiping run on a 1024-node paper graph."""
+    result = benchmark(lambda: PushPullGossip().run(graph, rng=1))
+    assert result.completed
+
+
+def test_fast_gossiping_single_run(benchmark, graph):
+    """One complete fast-gossiping run on a 1024-node paper graph."""
+    result = benchmark(lambda: FastGossiping().run(graph, rng=2))
+    assert result.completed
+
+
+def test_memory_gossiping_single_run(benchmark, graph):
+    """One complete memory-model run on a 1024-node paper graph."""
+    result = benchmark(lambda: MemoryGossiping(leader=0).run(graph, rng=3))
+    assert result.completed
+
+
+def test_graph_generation(benchmark):
+    """Sampling G(n, log^2 n / n) with the vectorised skip sampler."""
+    graph = benchmark(lambda: erdos_renyi(N, paper_edge_probability(N), rng=7))
+    assert graph.n == N
+
+
+def test_neighbor_sampling(benchmark, graph):
+    """Sampling one random neighbour for every node (the per-round hot path)."""
+    rng = make_rng(11)
+    nodes = np.arange(graph.n)
+    samples = benchmark(lambda: graph.sample_neighbors(nodes, rng))
+    assert samples.shape == (graph.n,)
+
+
+def test_knowledge_round_update(benchmark, graph):
+    """One synchronous round of push-pull knowledge unions on the bitset matrix."""
+    rng = make_rng(13)
+    knowledge = KnowledgeMatrix(graph.n)
+    nodes = np.arange(graph.n)
+
+    def one_round():
+        targets = graph.sample_neighbors(nodes, rng)
+        snapshot = knowledge.snapshot()
+        knowledge.apply_transmissions(nodes, targets, snapshot)
+        knowledge.apply_transmissions(targets, nodes, snapshot)
+        return knowledge
+
+    benchmark(one_round)
+    assert knowledge.total_known() >= graph.n

@@ -1,0 +1,42 @@
+"""Benchmark E6 — regenerate Table 1 (simulation constants).
+
+Paper reference: Table 1 lists the phase-length constants used in the
+simulations of Algorithm 1 and Algorithm 2.  The benchmark resolves those
+formulas for concrete sizes (including the paper's 10⁶) and verifies a few
+hand-checked values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import TABLE1_COLUMNS
+
+from _bench_utils import emit, run_once
+
+
+def test_table1_constants(benchmark, scale):
+    """Regenerate Table 1 for a list of sizes including the paper's 10^6."""
+    sizes = [1024, 4096, 16384, 65536, 10**6]
+    result = run_once(benchmark, run_table1, sizes)
+    emit(
+        result,
+        TABLE1_COLUMNS,
+        note="Values follow Table 1 of the paper (log base 2), resolved per n.",
+    )
+    lookup = {
+        (row["n"], row["algorithm"], row["limit"]): row["value"] for row in result.rows
+    }
+    # Hand-checked values for n = 10^6 (log2 n ~ 19.93, loglog ~ 4.32).
+    assert lookup[(10**6, "algorithm1_fast_gossiping", "number of steps")] == 6
+    assert lookup[(10**6, "algorithm1_fast_gossiping", "number of rounds")] == 5
+    assert (
+        lookup[
+            (
+                10**6,
+                "algorithm2_memory_model",
+                "first loop, number of steps (multiple of 4)",
+            )
+        ]
+        == 40
+    )
+    assert lookup[(10**6, "algorithm2_memory_model", "number of push steps")] == 19

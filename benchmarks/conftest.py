@@ -1,0 +1,27 @@
+"""Pytest fixtures shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import bench_scale
+
+
+def pytest_configure(config) -> None:
+    """Show the reproduced tables in the terminal output.
+
+    Each benchmark prints the rows it regenerated; pytest captures stdout of
+    passing tests, so request the "passed with output" report section (the
+    equivalent of ``-rP``) whenever the benchmark directory is collected.
+    This keeps ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+    self-contained: timings *and* reproduced series end up in the log.
+    """
+    chars = getattr(config.option, "reportchars", "") or ""
+    if "P" not in chars and "A" not in chars:
+        config.option.reportchars = chars + "P"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The selected benchmark scale (``quick`` or ``paper``)."""
+    return bench_scale()

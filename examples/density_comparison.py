@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Density comparison: does graph density influence randomized gossiping?
+
+The paper's title question.  For broadcasting it is known that sparse random
+graphs are strictly worse than complete graphs w.r.t. message complexity; the
+paper's thesis is that for gossiping they are not.  This example measures both
+sides on the same pair of topologies:
+
+* single-message age-quenched push–pull *broadcasting* (Karp et al. style) —
+  cheap on the complete graph, noticeably more expensive on the sparse graph,
+* memory-model *gossiping* — essentially the same small constant per node on
+  both topologies.
+
+Run with::
+
+    python examples/density_comparison.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MemoryGossiping, complete_graph, erdos_renyi
+from repro.broadcast import AgeBasedBroadcast
+from repro.graphs import paper_edge_probability
+from repro.io import format_table
+
+
+def main(n: int = 1024, seed: int = 31) -> None:
+    """Compare broadcasting and gossiping costs on sparse vs complete graphs."""
+    sparse = erdos_renyi(n, paper_edge_probability(n), rng=seed, require_connected=True)
+    dense = complete_graph(n)
+    print(
+        f"Topologies: G(n={n}, log^2 n/n) with mean degree "
+        f"{sparse.mean_degree():.1f} vs complete graph K_{n}\n"
+    )
+
+    rows = []
+    for label, graph in (("sparse random", sparse), ("complete", dense)):
+        broadcast = AgeBasedBroadcast().run(graph, source=0, rng=seed + 1)
+        rows.append(
+            [
+                "broadcast (single message)",
+                label,
+                broadcast.rounds,
+                round(broadcast.messages_per_node(), 2),
+                broadcast.completed,
+            ]
+        )
+    for label, graph in (("sparse random", sparse), ("complete", dense)):
+        gossip = MemoryGossiping(leader=0).run(graph, rng=seed + 2)
+        rows.append(
+            [
+                "gossiping (memory model)",
+                label,
+                gossip.rounds,
+                round(gossip.messages_per_node(), 2),
+                gossip.completed,
+            ]
+        )
+    print(
+        format_table(
+            ["task", "topology", "rounds", "packets/node", "completed"],
+            rows,
+            title="Influence of density: broadcasting vs gossiping",
+        )
+    )
+    print()
+    print(
+        "Expected: the broadcasting cost is visibly higher on the sparse graph\n"
+        "than on the complete graph, while the gossiping cost barely moves —\n"
+        "the separation the paper's title refers to."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    main(size)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: compare the three gossiping protocols on one random graph.
+
+Builds the paper's topology ``G(n, log^2 n / n)``, runs plain push–pull
+(Algorithm 4), fast-gossiping (Algorithm 1) and the memory model
+(Algorithm 2), and prints the round and per-node message costs side by side —
+a one-graph slice of the paper's Figure 1.
+
+Run with::
+
+    python examples/quickstart.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FastGossiping, MemoryGossiping, PushPullGossip, erdos_renyi
+from repro.engine import MessageAccounting
+from repro.graphs import paper_edge_probability, profile_graph
+from repro.io import format_table
+
+
+def main(n: int = 1024, seed: int = 7) -> None:
+    """Run the comparison on a graph of ``n`` nodes."""
+    p = paper_edge_probability(n)
+    graph = erdos_renyi(n, p, rng=seed, require_connected=True)
+    profile = profile_graph(graph, rng=seed, spectral=(n <= 4096))
+    print(f"Topology: G(n={n}, p=log^2 n / n = {p:.4f})")
+    print(
+        f"  mean degree {profile.degrees.mean:.1f}, "
+        f"diameter ~{profile.diameter_estimate}, "
+        f"spectral gap {profile.spectral_gap if profile.spectral_gap is None else round(profile.spectral_gap, 3)}"
+    )
+    print()
+
+    protocols = [
+        ("push-pull (Alg. 4)", PushPullGossip()),
+        ("fast-gossiping (Alg. 1)", FastGossiping()),
+        ("memory model (Alg. 2)", MemoryGossiping(leader=0)),
+    ]
+    rows = []
+    for label, protocol in protocols:
+        result = protocol.run(graph, rng=seed + 1)
+        rows.append(
+            [
+                label,
+                result.completed,
+                result.rounds,
+                round(result.messages_per_node(MessageAccounting.PACKETS), 2),
+                round(result.messages_per_node(MessageAccounting.OPENS), 2),
+                round(
+                    result.messages_per_node(MessageAccounting.OPENS_AND_PACKETS), 2
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "completed", "rounds", "packets/node", "opens/node", "strict/node"],
+            rows,
+            title="Gossiping cost comparison (one run each)",
+        )
+    )
+    print()
+    print(
+        "Expected shape (paper, Figure 1): push-pull highest and growing with n,\n"
+        "fast-gossiping below it, memory model bounded by a small constant."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    main(size)

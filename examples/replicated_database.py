@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Replicated-database scenario: keeping replicas consistent by gossiping.
+
+The random phone call model was introduced by Demers et al. and analysed by
+Karp et al. for exactly this application: a cluster of database replicas in
+which every replica keeps receiving local updates, and all updates must reach
+all replicas.  This example models one anti-entropy cycle:
+
+1. every replica holds its own fresh batch of updates (its original message),
+2. a gossiping protocol disseminates all batches to all replicas,
+3. each replica applies the union and all replicas end up with identical state.
+
+We compare plain push–pull anti-entropy against the paper's memory-model
+protocol, including behaviour under crashed replicas.
+
+Run with::
+
+    python examples/replicated_database.py [n_replicas]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    MemoryGossiping,
+    PushPullGossip,
+    erdos_renyi,
+    sample_uniform_failures,
+)
+from repro.core import tuned_memory_gossiping
+from repro.graphs import paper_edge_probability
+from repro.io import format_table
+
+
+def replica_states_consistent(result) -> bool:
+    """All replicas hold the same set of update batches."""
+    counts = result.knowledge.counts()
+    return bool(np.all(counts == result.knowledge.n_messages))
+
+
+def main(n_replicas: int = 512, seed: int = 11) -> None:
+    """Run one anti-entropy cycle over ``n_replicas`` replicas."""
+    graph = erdos_renyi(
+        n_replicas,
+        paper_edge_probability(n_replicas),
+        rng=seed,
+        require_connected=True,
+    )
+    print(f"Cluster: {n_replicas} replicas, sparse overlay with mean degree "
+          f"{graph.mean_degree():.1f}\n")
+
+    rows = []
+
+    # Plain anti-entropy: every replica gossips every round (push-pull).
+    push_pull = PushPullGossip().run(graph, rng=seed + 1)
+    rows.append(
+        [
+            "push-pull anti-entropy",
+            push_pull.rounds,
+            round(push_pull.messages_per_node(), 2),
+            replica_states_consistent(push_pull),
+        ]
+    )
+
+    # Memory-model protocol: a coordinator gathers and redistributes updates.
+    memory = MemoryGossiping(leader=0).run(graph, rng=seed + 2)
+    rows.append(
+        [
+            "memory model (coordinator)",
+            memory.rounds,
+            round(memory.messages_per_node(), 2),
+            replica_states_consistent(memory),
+        ]
+    )
+
+    # The same cycle with a few crashed replicas (before the gather phase).
+    crashed = max(1, n_replicas // 50)
+    failures = sample_uniform_failures(n_replicas, crashed, rng=seed + 3, protect=[0])
+    robust = MemoryGossiping(
+        tuned_memory_gossiping().with_overrides(num_trees=3), leader=0
+    ).run(graph, rng=seed + 4, failures=failures)
+    rows.append(
+        [
+            f"memory model, {crashed} crashed replicas",
+            robust.rounds,
+            round(robust.messages_per_node(), 2),
+            robust.completed,
+        ]
+    )
+    lost = robust.extras["lost_messages"]
+
+    print(
+        format_table(
+            ["strategy", "rounds", "packets/replica", "replicas consistent"],
+            rows,
+            title="One anti-entropy cycle",
+        )
+    )
+    print()
+    print(
+        f"With {crashed} crashed replicas the coordinator still gathered every "
+        f"healthy replica's updates except {lost} "
+        f"(additional losses beyond the crashed replicas themselves)."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    main(size)

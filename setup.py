@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work on environments without the ``wheel`` package (e.g. offline containers).
+"""
+
+from setuptools import setup
+
+setup()

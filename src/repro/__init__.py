@@ -1,0 +1,99 @@
+"""repro — reproduction of "On the Influence of Graph Density on Randomized Gossiping".
+
+The package implements the random phone call model, the paper's gossiping
+algorithms (plain push–pull, ``fast-gossiping`` and the memory model with
+leader election), the random-graph substrates they run on, broadcasting
+baselines, an analysis toolkit and the experiment harness that regenerates
+every table and figure of the paper's empirical section.
+
+Quick start::
+
+    from repro import FastGossiping, PushPullGossip, erdos_renyi
+
+    graph = erdos_renyi(1024, expected_degree=100, rng=1, require_connected=True)
+    result = FastGossiping().run(graph, rng=2)
+    print(result.completed, result.messages_per_node())
+"""
+
+from .core import (
+    FastGossiping,
+    FastGossipingParameters,
+    GossipProtocol,
+    GossipResult,
+    LeaderElection,
+    LeaderElectionParameters,
+    LeaderElectionResult,
+    MemoryGossiping,
+    MemoryGossipingParameters,
+    PushPullGossip,
+    PushPullParameters,
+    table1_rows,
+    theory_fast_gossiping,
+    tuned_fast_gossiping,
+    tuned_memory_gossiping,
+)
+from .engine import (
+    FailurePlan,
+    KnowledgeMatrix,
+    MessageAccounting,
+    NO_FAILURES,
+    SingleMessageState,
+    TransmissionLedger,
+    make_rng,
+    sample_uniform_failures,
+)
+from .graphs import (
+    Adjacency,
+    GraphSpec,
+    complete_graph,
+    configuration_model,
+    erdos_renyi,
+    hypercube,
+    make_graph,
+    paper_edge_probability,
+    paper_expected_degree,
+    paper_graph_spec,
+    power_law_graph,
+    random_regular,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastGossiping",
+    "FastGossipingParameters",
+    "GossipProtocol",
+    "GossipResult",
+    "LeaderElection",
+    "LeaderElectionParameters",
+    "LeaderElectionResult",
+    "MemoryGossiping",
+    "MemoryGossipingParameters",
+    "PushPullGossip",
+    "PushPullParameters",
+    "table1_rows",
+    "theory_fast_gossiping",
+    "tuned_fast_gossiping",
+    "tuned_memory_gossiping",
+    "FailurePlan",
+    "KnowledgeMatrix",
+    "MessageAccounting",
+    "NO_FAILURES",
+    "SingleMessageState",
+    "TransmissionLedger",
+    "make_rng",
+    "sample_uniform_failures",
+    "Adjacency",
+    "GraphSpec",
+    "complete_graph",
+    "configuration_model",
+    "erdos_renyi",
+    "hypercube",
+    "make_graph",
+    "paper_edge_probability",
+    "paper_expected_degree",
+    "paper_graph_spec",
+    "power_law_graph",
+    "random_regular",
+    "__version__",
+]

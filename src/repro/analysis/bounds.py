@@ -1,0 +1,150 @@
+"""Theoretical bounds from the paper, as concrete reference curves.
+
+The experiments compare measured quantities against the asymptotic bounds the
+paper proves or cites.  Asymptotic statements do not fix constants, so each
+function exposes a ``constant`` parameter; fitted constants are computed by
+:func:`fit_constant`, which the experiment reports use to show that a measured
+series scales like its predicted shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "log2",
+    "loglog2",
+    "push_pull_gossip_rounds",
+    "push_pull_gossip_messages_per_node",
+    "fast_gossiping_rounds",
+    "fast_gossiping_messages_per_node",
+    "memory_gossiping_rounds",
+    "memory_gossiping_messages_per_node",
+    "leader_election_messages_per_node",
+    "broadcast_messages_per_node_complete",
+    "broadcast_messages_per_node_sparse",
+    "gossip_lower_bound_messages",
+    "fit_constant",
+    "shape_correlation",
+]
+
+
+def log2(n: float) -> float:
+    """Base-2 logarithm guarded for small inputs."""
+    return math.log2(max(float(n), 2.0))
+
+
+def loglog2(n: float) -> float:
+    """``log2 log2 n`` guarded to stay at least 1."""
+    return max(1.0, math.log2(max(log2(n), 2.0)))
+
+
+# --------------------------------------------------------------------------- #
+# Gossiping bounds (Theorems 1 and 2, and the baseline)
+# --------------------------------------------------------------------------- #
+def push_pull_gossip_rounds(n: float, constant: float = 1.0) -> float:
+    """Plain push–pull gossiping completes in ``Theta(log n)`` rounds."""
+    return constant * log2(n)
+
+
+def push_pull_gossip_messages_per_node(n: float, constant: float = 1.0) -> float:
+    """Plain push–pull gossiping sends ``Theta(log n)`` packets per node."""
+    return constant * log2(n)
+
+
+def fast_gossiping_rounds(n: float, constant: float = 1.0) -> float:
+    """Theorem 1: ``O(log^2 n / log log n)`` rounds."""
+    return constant * log2(n) ** 2 / loglog2(n)
+
+
+def fast_gossiping_messages_per_node(n: float, constant: float = 1.0) -> float:
+    """Theorem 1: ``O(log n / log log n)`` transmissions per node."""
+    return constant * log2(n) / loglog2(n)
+
+
+def memory_gossiping_rounds(n: float, constant: float = 1.0) -> float:
+    """Theorem 2: ``O(log n)`` rounds."""
+    return constant * log2(n)
+
+
+def memory_gossiping_messages_per_node(n: float, constant: float = 1.0) -> float:
+    """Theorem 2: ``O(1)`` transmissions per node (``O(n)`` total)."""
+    return constant
+
+
+def leader_election_messages_per_node(n: float, constant: float = 1.0) -> float:
+    """Algorithm 3: ``O(log log n)`` transmissions per node."""
+    return constant * loglog2(n)
+
+
+# --------------------------------------------------------------------------- #
+# Broadcasting background (Karp et al. / Elsässer SPAA'06)
+# --------------------------------------------------------------------------- #
+def broadcast_messages_per_node_complete(n: float, constant: float = 1.0) -> float:
+    """Karp et al.: ``O(log log n)`` transmissions per node on complete graphs."""
+    return constant * loglog2(n)
+
+
+def broadcast_messages_per_node_sparse(n: float, constant: float = 1.0) -> float:
+    """Sparse random graphs cannot beat ``Omega(log n / log d * log log n)``-ish
+    per-node cost for address-oblivious push–pull broadcasting; we use the
+    ``log n`` envelope as the reference shape (Elsässer, SPAA'06)."""
+    return constant * log2(n)
+
+
+def gossip_lower_bound_messages(n: float, constant: float = 1.0) -> float:
+    """Berenbrink et al.: any ``O(log n)``-time gossiping needs ``Omega(n log n)``
+    transmissions in the random phone call model; expressed per node."""
+    return constant * log2(n)
+
+
+# --------------------------------------------------------------------------- #
+# Shape fitting helpers
+# --------------------------------------------------------------------------- #
+def fit_constant(
+    sizes: Sequence[float],
+    measured: Sequence[float],
+    bound: Callable[[float, float], float],
+) -> float:
+    """Least-squares constant ``c`` such that ``measured ≈ c * bound(n, 1)``.
+
+    Parameters
+    ----------
+    sizes:
+        Graph sizes of the measurements.
+    measured:
+        Measured values (same length as ``sizes``).
+    bound:
+        One of the bound functions in this module.
+    """
+    sizes_arr = np.asarray(list(sizes), dtype=np.float64)
+    measured_arr = np.asarray(list(measured), dtype=np.float64)
+    if sizes_arr.size != measured_arr.size or sizes_arr.size == 0:
+        raise ValueError("sizes and measured must be equally sized and non-empty")
+    shape = np.asarray([bound(float(n), 1.0) for n in sizes_arr], dtype=np.float64)
+    denom = float(np.dot(shape, shape))
+    if denom == 0.0:
+        raise ValueError("bound shape is identically zero on the given sizes")
+    return float(np.dot(shape, measured_arr) / denom)
+
+
+def shape_correlation(
+    sizes: Sequence[float],
+    measured: Sequence[float],
+    bound: Callable[[float, float], float],
+) -> float:
+    """Pearson correlation between a measured series and a bound shape.
+
+    Values close to 1 indicate the measured series grows like the predicted
+    shape; a flat (constant) bound returns ``nan`` because correlation against
+    a constant is undefined — callers should then compare the spread instead.
+    """
+    sizes_arr = np.asarray(list(sizes), dtype=np.float64)
+    measured_arr = np.asarray(list(measured), dtype=np.float64)
+    shape = np.asarray([bound(float(n), 1.0) for n in sizes_arr], dtype=np.float64)
+    if np.allclose(shape, shape[0]) or np.allclose(measured_arr, measured_arr[0]):
+        return float("nan")
+    return float(np.corrcoef(shape, measured_arr)[0, 1])

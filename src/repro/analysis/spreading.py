@@ -1,0 +1,71 @@
+"""Spreading-curve analysis of protocol traces.
+
+The theoretical sections of the paper reason about the growth of the informed
+set over time (exponential growth in Phase I, ``sqrt(log n)`` multiplication
+per Phase II round, double-exponential shrinkage of the uninformed set in the
+pull regime).  These helpers extract such growth statistics from recorded
+:class:`~repro.engine.trace.SpreadingTrace` objects so that examples and tests
+can check the qualitative behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..engine.trace import SpreadingTrace
+
+__all__ = ["GrowthSummary", "coverage_growth", "rounds_to_coverage", "phase_breakdown"]
+
+
+@dataclass(frozen=True)
+class GrowthSummary:
+    """Growth statistics of a coverage curve."""
+
+    initial_coverage: float
+    final_coverage: float
+    rounds: int
+    max_round_growth: float
+    mean_round_growth: float
+
+
+def coverage_growth(trace: SpreadingTrace) -> GrowthSummary:
+    """Summarise the round-over-round growth of the coverage curve."""
+    curve = trace.coverage_curve()
+    if curve.size == 0:
+        raise ValueError("trace contains no records")
+    if curve.size == 1:
+        return GrowthSummary(float(curve[0]), float(curve[0]), 1, 1.0, 1.0)
+    previous = np.maximum(curve[:-1], 1e-12)
+    ratios = curve[1:] / previous
+    return GrowthSummary(
+        initial_coverage=float(curve[0]),
+        final_coverage=float(curve[-1]),
+        rounds=int(curve.size),
+        max_round_growth=float(ratios.max()),
+        mean_round_growth=float(ratios.mean()),
+    )
+
+
+def rounds_to_coverage(trace: SpreadingTrace, threshold: float) -> Optional[int]:
+    """First recorded round at which coverage reaches ``threshold`` (or None)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    for record in trace.records:
+        if record.coverage >= threshold:
+            return record.round_index
+    return None
+
+
+def phase_breakdown(trace: SpreadingTrace) -> Dict[str, Dict[str, float]]:
+    """Coverage reached at the end of each phase, keyed by phase name."""
+    out: Dict[str, Dict[str, float]] = {}
+    for record in trace.records:
+        out[record.phase] = {
+            "last_round": float(record.round_index),
+            "coverage": float(record.coverage),
+            "fully_informed_nodes": float(record.fully_informed_nodes),
+        }
+    return out

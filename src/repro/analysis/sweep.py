@@ -1,0 +1,111 @@
+"""Parameter sweeps with optional process-based parallelism.
+
+Experiments are embarrassingly parallel across (configuration, repetition)
+pairs, so :func:`run_sweep` distributes them over a
+:class:`concurrent.futures.ProcessPoolExecutor` when ``n_jobs > 1``.  Work
+items must be picklable, which is why the sweep operates on *task functions*
+defined at module level plus plain-data task descriptions rather than on
+closures.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.rng import derive_seed
+
+__all__ = ["SweepTask", "run_sweep", "expand_grid"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of work in a parameter sweep.
+
+    Attributes
+    ----------
+    key:
+        Arbitrary (hashable, picklable) identifier of the configuration; it is
+        copied into the result record.
+    params:
+        Keyword arguments handed to the task function.
+    repetition:
+        Index of the repetition for this configuration.
+    seed:
+        Seed for this (configuration, repetition) pair.
+    """
+
+    key: Any
+    params: Dict[str, Any]
+    repetition: int
+    seed: int
+
+
+def expand_grid(
+    configurations: Sequence[Tuple[Any, Dict[str, Any]]],
+    repetitions: int,
+    base_seed: Optional[int],
+) -> List[SweepTask]:
+    """Expand (key, params) configurations into per-repetition tasks.
+
+    Seeds are derived deterministically from ``base_seed`` and the task
+    coordinates so that re-running the sweep reproduces exactly the same runs.
+    """
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    tasks: List[SweepTask] = []
+    for config_index, (key, params) in enumerate(configurations):
+        for repetition in range(repetitions):
+            seed = derive_seed(base_seed, config_index, repetition)
+            tasks.append(
+                SweepTask(key=key, params=dict(params), repetition=repetition, seed=seed)
+            )
+    return tasks
+
+
+def _run_one(task_fn: Callable[[SweepTask], Dict[str, Any]], task: SweepTask) -> Dict[str, Any]:
+    record = task_fn(task)
+    record.setdefault("key", task.key)
+    record.setdefault("repetition", task.repetition)
+    record.setdefault("seed", task.seed)
+    return record
+
+
+def run_sweep(
+    task_fn: Callable[[SweepTask], Dict[str, Any]],
+    tasks: Sequence[SweepTask],
+    *,
+    n_jobs: int = 1,
+) -> List[Dict[str, Any]]:
+    """Execute ``task_fn`` for every task, serially or over a process pool.
+
+    Parameters
+    ----------
+    task_fn:
+        A module-level function mapping a :class:`SweepTask` to a plain-dict
+        result record (it must be picklable for ``n_jobs > 1``).
+    tasks:
+        The work items, typically produced by :func:`expand_grid`.
+    n_jobs:
+        Number of worker processes; ``1`` (default) runs in-process, which is
+        also the fallback whenever only one task exists.
+
+    Returns
+    -------
+    list of dict
+        One record per task, in task order.
+    """
+    tasks = list(tasks)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be at least 1, got {n_jobs}")
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [_run_one(task_fn, task) for task in tasks]
+    records: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = {
+            pool.submit(_run_one, task_fn, task): index for index, task in enumerate(tasks)
+        }
+        for future, index in futures.items():
+            records[index] = future.result()
+    return [record for record in records if record is not None]

@@ -1,0 +1,100 @@
+"""Single-message pull broadcasting.
+
+In every step every *uninformed* node opens a channel to a uniformly random
+neighbour; if the callee is informed it answers with the rumour (a pull
+transmission).  Karp et al. observed that pull is inferior to push while fewer
+than half the nodes are informed and dramatically better afterwards — the
+observation behind their push–pull algorithm and behind the pull long-steps of
+the paper's memory model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.knowledge import SingleMessageState
+from ..engine.metrics import TransmissionLedger
+from ..engine.rng import RandomState, make_rng
+from ..engine.trace import SpreadingTrace
+from ..graphs.adjacency import Adjacency
+from .results import BroadcastResult
+
+__all__ = ["PullBroadcast"]
+
+
+class PullBroadcast:
+    """Pull-only broadcasting of a single rumour.
+
+    Parameters
+    ----------
+    max_rounds_factor:
+        Abort after ``max_rounds_factor * log2(n)`` rounds (safety bound).
+        Pull-only broadcasting needs ``Theta(log n)`` rounds once the rumour
+        is widespread but can take long to get going from a single source, so
+        the default bound is generous.
+    callers:
+        ``"uninformed"`` (default) lets only uninformed nodes open channels —
+        the cost-conscious variant used inside the paper's algorithms;
+        ``"all"`` has every node open a channel each step, the textbook
+        variant.
+    """
+
+    name = "pull-broadcast"
+
+    def __init__(self, max_rounds_factor: float = 30.0, callers: str = "uninformed") -> None:
+        if callers not in ("uninformed", "all"):
+            raise ValueError("callers must be 'uninformed' or 'all'")
+        self.max_rounds_factor = float(max_rounds_factor)
+        self.callers = callers
+
+    def run(
+        self,
+        graph: Adjacency,
+        *,
+        source: int = 0,
+        rng: RandomState = None,
+        record_trace: bool = False,
+    ) -> BroadcastResult:
+        """Broadcast a rumour from ``source`` until every node is informed."""
+        generator = make_rng(rng)
+        if graph.n < 2:
+            raise ValueError("broadcasting requires at least two nodes")
+        state = SingleMessageState(graph.n, source)
+        ledger = TransmissionLedger(graph.n)
+        trace = SpreadingTrace(enabled=record_trace)
+        ledger.begin_phase(self.name)
+        max_rounds = max(8, int(self.max_rounds_factor * np.log2(max(graph.n, 2))))
+        completed = False
+        for round_index in range(max_rounds):
+            if self.callers == "uninformed":
+                callers = state.uninformed_nodes()
+            else:
+                callers = np.arange(graph.n, dtype=np.int64)
+            if callers.size == 0:
+                completed = True
+                break
+            targets = graph.sample_neighbors(callers, generator)
+            ok = targets >= 0
+            ledger.record_opens(callers)
+            informed_targets = ok & state.informed[np.clip(targets, 0, None)]
+            receivers = callers[informed_targets]
+            senders = targets[informed_targets]
+            if senders.size:
+                ledger.record_pulls(senders)
+            state.inform(receivers, round_index + 1)
+            ledger.end_round()
+            trace.record_broadcast(round_index, self.name, state)
+            if state.is_complete():
+                completed = True
+                break
+        ledger.end_phase()
+        return BroadcastResult(
+            protocol=self.name,
+            n_nodes=graph.n,
+            source=source,
+            completed=completed,
+            rounds=ledger.rounds,
+            ledger=ledger,
+            state=state,
+            trace=trace if record_trace else None,
+        )

@@ -1,0 +1,305 @@
+"""Command-line interface of the reproduction library.
+
+Installed as ``python -m repro``; four subcommands cover the common workflows:
+
+``run``
+    Execute one gossiping protocol on a freshly sampled graph and print the
+    cost summary (optionally as JSON).
+
+``experiment``
+    Run one of the named experiments (``figure1`` … ``figure5``, ``table1``,
+    ``density``, ``broadcast``, ``parameters``, ``redundancy``, ``election``)
+    at the quick laptop scale, print the reproduced rows and optionally an
+    ASCII rendition of the figure, and persist the rows to a directory.
+
+``table1``
+    Print the paper's Table 1 constants resolved for the given sizes.
+
+``graph-info``
+    Sample a graph from a spec and print its structural profile (degrees,
+    connectivity, spectral gap, conductance, distance estimates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis.ascii_plot import plot_experiment_rows
+from .core import (
+    FastGossiping,
+    LeaderElection,
+    MemoryGossiping,
+    PushPullGossip,
+    table1_rows,
+)
+from .engine import MessageAccounting
+from .experiments import (
+    BroadcastAblationConfig,
+    DensitySweepConfig,
+    LeaderElectionConfig,
+    ParameterAblationConfig,
+    RobustnessConfig,
+    RobustnessDetailConfig,
+    SizeSweepConfig,
+    run_broadcast_ablation,
+    run_density_sweep,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_leader_election_cost,
+    run_parameter_ablation,
+    run_redundancy_ablation,
+    run_table1,
+)
+from .graphs import GraphSpec, make_graph, paper_edge_probability, profile_graph
+from .io import format_table, save_json, to_jsonable
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Randomized gossiping on random graphs (Elsässer & Kaaser, IPDPS'15).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one gossiping protocol")
+    run_parser.add_argument(
+        "--protocol",
+        choices=("push-pull", "fast-gossiping", "memory"),
+        default="fast-gossiping",
+        help="gossiping protocol to execute",
+    )
+    run_parser.add_argument("--nodes", "-n", type=int, default=1024, help="graph size")
+    run_parser.add_argument(
+        "--graph",
+        choices=("erdos_renyi", "random_regular", "complete", "hypercube", "power_law"),
+        default="erdos_renyi",
+        help="graph family",
+    )
+    run_parser.add_argument(
+        "--expected-degree",
+        type=float,
+        default=None,
+        help="expected degree (defaults to the paper's log^2 n)",
+    )
+    run_parser.add_argument("--seed", type=int, default=1, help="random seed")
+    run_parser.add_argument("--json", action="store_true", help="print the summary as JSON")
+    run_parser.set_defaults(func=_cmd_run)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run a named experiment")
+    experiment_parser.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS),
+        help="experiment to run (paper figure/table or extension)",
+    )
+    experiment_parser.add_argument(
+        "--output", default=None, help="directory to persist the result rows into"
+    )
+    experiment_parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII plot of the main series"
+    )
+    experiment_parser.add_argument("--seed", type=int, default=None, help="override base seed")
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    table_parser = subparsers.add_parser("table1", help="print Table 1 constants")
+    table_parser.add_argument(
+        "sizes", nargs="*", type=int, default=[1024, 65536, 10**6], help="graph sizes"
+    )
+    table_parser.set_defaults(func=_cmd_table1)
+
+    info_parser = subparsers.add_parser("graph-info", help="profile a sampled graph")
+    info_parser.add_argument("--nodes", "-n", type=int, default=1024, help="graph size")
+    info_parser.add_argument(
+        "--graph",
+        choices=("erdos_renyi", "random_regular", "complete", "hypercube", "power_law"),
+        default="erdos_renyi",
+        help="graph family",
+    )
+    info_parser.add_argument("--expected-degree", type=float, default=None)
+    info_parser.add_argument("--seed", type=int, default=1)
+    info_parser.set_defaults(func=_cmd_graph_info)
+
+    return parser
+
+
+def _graph_spec(kind: str, n: int, expected_degree: Optional[float]) -> GraphSpec:
+    """Build a GraphSpec from CLI arguments."""
+    if kind == "erdos_renyi":
+        params = {
+            "p": (
+                paper_edge_probability(n)
+                if expected_degree is None
+                else min(1.0, expected_degree / max(n - 1, 1))
+            ),
+            "require_connected": True,
+        }
+        return GraphSpec("erdos_renyi", n, params)
+    if kind == "random_regular":
+        degree = int(expected_degree or max(4, round(paper_edge_probability(n) * (n - 1))))
+        if (degree * n) % 2:
+            degree += 1
+        return GraphSpec("random_regular", n, {"d": degree, "require_connected": True})
+    if kind == "power_law":
+        return GraphSpec("power_law", n, {"exponent": 2.5})
+    return GraphSpec(kind, n)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _graph_spec(args.graph, args.nodes, args.expected_degree)
+    graph = make_graph(spec, rng=args.seed)
+    protocols = {
+        "push-pull": PushPullGossip(),
+        "fast-gossiping": FastGossiping(),
+        "memory": MemoryGossiping(leader=0),
+    }
+    protocol = protocols[args.protocol]
+    result = protocol.run(graph, rng=args.seed + 1)
+    summary = result.summary()
+    summary["graph"] = spec.describe()
+    if args.json:
+        print(json.dumps(to_jsonable(summary), indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["graph", spec.describe()],
+            ["protocol", result.protocol],
+            ["completed", result.completed],
+            ["rounds", result.rounds],
+            ["packets/node", round(result.messages_per_node(MessageAccounting.PACKETS), 3)],
+            ["opens/node", round(result.messages_per_node(MessageAccounting.OPENS), 3)],
+            ["strict cost/node", round(result.messages_per_node(MessageAccounting.OPENS_AND_PACKETS), 3)],
+        ]
+        print(format_table(["field", "value"], rows, title="Gossiping run"))
+    return 0 if result.completed else 1
+
+
+#: Experiment registry: name -> (runner, kwargs factory, plot settings).
+_EXPERIMENTS: Dict[str, Dict[str, object]] = {
+    "figure1": {
+        "run": lambda seed: run_figure1(
+            SizeSweepConfig(sizes=(256, 512, 1024, 2048), repetitions=2, seed=seed or 20150525)
+        ),
+        "plot": {"x": "n", "y": "messages_per_node", "group_by": "protocol", "log_x": True},
+    },
+    "figure2": {
+        "run": lambda seed: run_figure2(
+            RobustnessConfig(size=1024, repetitions=2, seed=seed or 20150526)
+        ),
+        "plot": {"x": "failed", "y": "loss_ratio", "group_by": None, "log_x": False},
+    },
+    "figure3": {
+        "run": lambda seed: run_figure3(
+            RobustnessConfig(size=512, repetitions=2, seed=seed or 20150526), sizes=(512, 1024)
+        ),
+        "plot": {"x": "failed", "y": "loss_ratio", "group_by": "n", "log_x": False},
+    },
+    "figure4": {
+        "run": lambda seed: run_figure4(),
+        "plot": {"x": "n", "y": "messages_per_node", "group_by": None, "log_x": True},
+    },
+    "figure5": {
+        "run": lambda seed: run_figure5(
+            RobustnessDetailConfig(sizes=(512, 1024), repetitions=3, seed=seed or 20150527)
+        ),
+        "plot": {"x": "failed", "y": "exceed_T0", "group_by": "n", "log_x": False},
+    },
+    "table1": {"run": lambda seed: run_table1(), "plot": None},
+    "density": {
+        "run": lambda seed: run_density_sweep(
+            DensitySweepConfig(size=512, repetitions=2, seed=seed or 20150528)
+        ),
+        "plot": {"x": "expected_degree", "y": "messages_per_node", "group_by": "protocol", "log_x": True},
+    },
+    "broadcast": {
+        "run": lambda seed: run_broadcast_ablation(
+            BroadcastAblationConfig(sizes=(256, 512, 1024), repetitions=2, seed=seed or 20150529)
+        ),
+        "plot": {"x": "n", "y": "messages_per_node", "group_by": "task", "log_x": True},
+    },
+    "parameters": {
+        "run": lambda seed: run_parameter_ablation(
+            ParameterAblationConfig(size=512, repetitions=2, seed=seed or 20150530)
+        ),
+        "plot": None,
+    },
+    "redundancy": {
+        "run": lambda seed: run_redundancy_ablation(
+            RobustnessConfig(size=1024, failed_fractions=(0.0, 0.1, 0.3), repetitions=2, seed=seed or 20150532)
+        ),
+        "plot": {"x": "failed", "y": "loss_ratio", "group_by": "gather_contacts", "log_x": False},
+    },
+    "election": {
+        "run": lambda seed: run_leader_election_cost(
+            LeaderElectionConfig(sizes=(256, 512, 1024), repetitions=2, seed=seed or 20150531)
+        ),
+        "plot": {"x": "n", "y": "messages_per_node", "group_by": "variant", "log_x": True},
+    },
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    entry = _EXPERIMENTS[args.name]
+    result = entry["run"](args.seed)  # type: ignore[operator]
+    print(result.to_table())
+    plot_spec = entry.get("plot")
+    if args.plot and plot_spec:
+        print()
+        print(
+            plot_experiment_rows(
+                result.rows,
+                x=plot_spec["x"],
+                y=plot_spec["y"],
+                group_by=plot_spec["group_by"],
+                log_x=plot_spec["log_x"],
+                title=result.description,
+            )
+        )
+    if args.output:
+        paths = result.save(args.output)
+        print()
+        for label, path in paths.items():
+            print(f"saved {label}: {path}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    for n in args.sizes:
+        resolved = table1_rows(int(n))
+        print(f"\nTable 1 constants for n = {n}")
+        for algorithm, values in resolved.items():
+            rows = [[key, value] for key, value in values.items() if key != "n"]
+            print(format_table(["parameter", "value"], rows, title=algorithm))
+    return 0
+
+
+def _cmd_graph_info(args: argparse.Namespace) -> int:
+    spec = _graph_spec(args.graph, args.nodes, args.expected_degree)
+    graph = make_graph(spec, rng=args.seed)
+    profile = profile_graph(graph, rng=args.seed, spectral=(graph.n <= 4096))
+    rows = [[key, value] for key, value in profile.as_dict().items()]
+    print(format_table(["property", "value"], rows, title=spec.describe()))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

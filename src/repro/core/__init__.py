@@ -1,0 +1,52 @@
+"""The paper's gossiping algorithms and their parameters."""
+
+from .completion import alive_message_mask, gossip_complete, missing_pairs
+from .fast_gossiping import FastGossiping
+from .leader_election import LeaderElection, LeaderElectionResult
+from .memory_gossiping import CommunicationTree, MemoryGossiping
+from .parameters import (
+    FastGossipingParameters,
+    FastGossipingSchedule,
+    LeaderElectionParameters,
+    MemoryGossipingParameters,
+    MemoryGossipingSchedule,
+    PushPullParameters,
+    log2,
+    loglog2,
+    table1_rows,
+    theory_fast_gossiping,
+    tuned_fast_gossiping,
+    tuned_memory_gossiping,
+)
+from .protocol import GossipProtocol
+from .push_pull import PushPullGossip
+from .random_walks import WalkPool, start_walks
+from .results import GossipResult
+
+__all__ = [
+    "alive_message_mask",
+    "gossip_complete",
+    "missing_pairs",
+    "FastGossiping",
+    "LeaderElection",
+    "LeaderElectionResult",
+    "CommunicationTree",
+    "MemoryGossiping",
+    "FastGossipingParameters",
+    "FastGossipingSchedule",
+    "LeaderElectionParameters",
+    "MemoryGossipingParameters",
+    "MemoryGossipingSchedule",
+    "PushPullParameters",
+    "log2",
+    "loglog2",
+    "table1_rows",
+    "theory_fast_gossiping",
+    "tuned_fast_gossiping",
+    "tuned_memory_gossiping",
+    "GossipProtocol",
+    "PushPullGossip",
+    "WalkPool",
+    "start_walks",
+    "GossipResult",
+]

@@ -1,0 +1,223 @@
+"""Algorithm 3 — randomized leader election in the memory model.
+
+Each node independently declares itself a *possible leader* with probability
+``log^2 n / n`` and starts broadcasting its identifier.  Nodes forward the
+smallest identifier they have heard so far using push transmissions with the
+``open-avoid`` operation (avoiding the last few contacted neighbours), for
+``log n + rho * log log n`` steps, followed by ``rho * log log n`` pull steps.
+A node that never hears an identifier smaller than its own becomes the leader;
+with high probability exactly the candidate with the globally smallest
+identifier survives.
+
+The module also exposes the election result in a small dataclass so the
+memory-model gossiping protocol (Algorithm 2) and the robustness experiments
+can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine.failures import NO_FAILURES, FailurePlan
+from ..engine.metrics import TransmissionLedger
+from ..engine.rng import RandomState, make_rng
+from ..graphs.adjacency import Adjacency
+from .parameters import LeaderElectionParameters
+
+__all__ = ["LeaderElectionResult", "LeaderElection"]
+
+
+@dataclass
+class LeaderElectionResult:
+    """Outcome of one leader-election run.
+
+    Attributes
+    ----------
+    leaders:
+        Nodes that consider themselves leaders at the end.  A correct run has
+        exactly one entry; the high-probability analysis allows rare runs with
+        more.
+    candidates:
+        Nodes that declared themselves possible leaders.
+    rounds:
+        Number of synchronous steps used.
+    ledger:
+        Communication-cost accounting of the election.
+    aware_of_leader:
+        Boolean mask of nodes that know the winning identifier.
+    """
+
+    leaders: np.ndarray
+    candidates: np.ndarray
+    rounds: int
+    ledger: TransmissionLedger
+    aware_of_leader: np.ndarray
+
+    @property
+    def leader(self) -> int:
+        """The elected leader (smallest identifier among self-declared leaders)."""
+        if self.leaders.size == 0:
+            raise RuntimeError("no node considers itself the leader")
+        return int(self.leaders.min())
+
+    @property
+    def unique(self) -> bool:
+        """Whether exactly one node considers itself the leader."""
+        return self.leaders.size == 1
+
+    def messages_per_node(self) -> float:
+        """Average packets per node spent on the election."""
+        return self.ledger.average_per_node()
+
+
+class LeaderElection:
+    """Randomized leader election with constant-size memory (Algorithm 3).
+
+    Parameters
+    ----------
+    params:
+        Election constants (candidate probability, step counts, memory size).
+    active_push_limit:
+        Optional cap on the number of push steps a node performs after it
+        becomes active.  ``None`` (default) reproduces the pseudocode exactly
+        (active nodes push in every remaining step); a small cap reproduces
+        the ``O(n log log n)`` transmission bound discussed in the paper by
+        letting nodes go quiet a few steps after activation (the cap is reset
+        whenever a node learns a strictly smaller identifier, which preserves
+        correctness).
+    """
+
+    def __init__(
+        self,
+        params: Optional[LeaderElectionParameters] = None,
+        *,
+        active_push_limit: Optional[int] = None,
+    ) -> None:
+        self.params = params or LeaderElectionParameters()
+        self.active_push_limit = active_push_limit
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        graph: Adjacency,
+        *,
+        rng: RandomState = None,
+        failures: FailurePlan = NO_FAILURES,
+    ) -> LeaderElectionResult:
+        """Run the election on ``graph`` and return the result."""
+        generator = make_rng(rng)
+        if graph.n < 2:
+            raise ValueError("leader election requires at least two nodes")
+        alive = failures.alive_mask(graph.n)
+        if not failures.is_empty() and failures.inject_at != "start":
+            raise ValueError("LeaderElection only supports failures injected at 'start'")
+
+        n = graph.n
+        params = self.params
+        ledger = TransmissionLedger(n)
+        ledger.begin_phase("leader-election")
+
+        # Candidate sampling.
+        probability = params.candidate_probability(n)
+        candidate_mask = (generator.random(n) < probability) & alive
+        if not candidate_mask.any():
+            # Degenerate case (only relevant for very small n): promote one
+            # alive node so the election always terminates with a leader.
+            alive_nodes = np.flatnonzero(alive)
+            candidate_mask[generator.choice(alive_nodes)] = True
+        candidates = np.flatnonzero(candidate_mask)
+
+        # best_id[v]: smallest identifier node v has heard (inf = none).
+        best_id = np.full(n, np.inf, dtype=np.float64)
+        best_id[candidates] = candidates.astype(np.float64)
+        active = candidate_mask.copy()
+        push_budget = np.full(n, -1, dtype=np.int64)
+        if self.active_push_limit is not None:
+            push_budget[candidates] = int(self.active_push_limit)
+
+        memory = np.full((n, params.memory_size), -1, dtype=np.int64)
+        memory_ptr = np.zeros(n, dtype=np.int64)
+
+        def open_avoid(node: int) -> int:
+            """The memory model's open-avoid: a random neighbour not in memory."""
+            picked = graph.sample_neighbors_avoiding(
+                node, generator, avoid=memory[node][memory[node] >= 0], count=1
+            )
+            if picked.size == 0:
+                picked = graph.sample_neighbors_avoiding(node, generator, count=1)
+            if picked.size == 0:
+                return -1
+            target = int(picked[0])
+            memory[node, memory_ptr[node] % params.memory_size] = target
+            memory_ptr[node] += 1
+            return target
+
+        rounds = 0
+        # ---------------------------- push steps ------------------------- #
+        for _ in range(params.push_steps(n)):
+            senders = np.flatnonzero(active & alive)
+            if self.active_push_limit is not None and senders.size:
+                senders = senders[push_budget[senders] != 0]
+            new_best = best_id.copy()
+            opens: List[int] = []
+            for v in senders.tolist():
+                target = open_avoid(v)
+                opens.append(v)
+                if target < 0 or not alive[target]:
+                    continue
+                if best_id[v] < new_best[target]:
+                    new_best[target] = best_id[v]
+            if opens:
+                arr = np.asarray(opens, dtype=np.int64)
+                ledger.record_opens(arr)
+                ledger.record_pushes(arr)
+                if self.active_push_limit is not None:
+                    push_budget[arr] = np.maximum(push_budget[arr] - 1, 0)
+            improved = new_best < best_id
+            if self.active_push_limit is not None and improved.any():
+                push_budget[improved] = int(self.active_push_limit)
+            newly_active = improved & ~active
+            active |= improved
+            best_id = new_best
+            rounds += 1
+            ledger.end_round()
+            if self.active_push_limit is not None and newly_active.any():
+                push_budget[newly_active] = int(self.active_push_limit)
+
+        # ---------------------------- pull steps ------------------------- #
+        for _ in range(params.pull_steps(n)):
+            callers = np.flatnonzero(alive)
+            opens = []
+            pulls = []
+            new_best = best_id.copy()
+            for v in callers.tolist():
+                target = open_avoid(v)
+                opens.append(v)
+                if target < 0 or not alive[target]:
+                    continue
+                if np.isfinite(best_id[target]):
+                    pulls.append(target)
+                    if best_id[target] < new_best[v]:
+                        new_best[v] = best_id[target]
+            if opens:
+                ledger.record_opens(np.asarray(opens, dtype=np.int64))
+            if pulls:
+                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+            best_id = new_best
+            rounds += 1
+            ledger.end_round()
+
+        ledger.end_phase()
+        own_ids = np.arange(n, dtype=np.float64)
+        leaders = np.flatnonzero(candidate_mask & (best_id == own_ids) & alive)
+        aware = np.isfinite(best_id) & (best_id == float(leaders.min())) if leaders.size else np.zeros(n, dtype=bool)
+        return LeaderElectionResult(
+            leaders=leaders,
+            candidates=candidates,
+            rounds=rounds,
+            ledger=ledger,
+            aware_of_leader=aware,
+        )

@@ -1,0 +1,608 @@
+"""Algorithm 2 — gossiping in the memory model (constant-size node memory).
+
+Every node may remember the addresses of the last few (four) neighbours it
+contacted, may *avoid* them when opening a new random channel (``open-avoid``)
+and may re-contact them deliberately.  With this small extension of the random
+phone call model the paper obtains a gossiping algorithm with ``O(log n)``
+running time and only ``O(n)`` message transmissions (``O(n log log n)`` if a
+leader first has to be elected):
+
+Phase I — *tree construction*: the leader disseminates its message by having
+every newly informed node contact four distinct random neighbours (one per
+step of a *long-step*), each node storing whom it contacted and when.  A few
+pull long-steps let the remaining uninformed nodes fetch the message and
+record from whom they got it.  The recorded contacts form a communication
+tree rooted at the leader.
+
+Phase II — *gathering*: the recorded edges are replayed in reverse
+chronological order, so every node forwards all original messages it has
+accumulated towards the leader; afterwards the leader knows every message.
+
+Phase III — *broadcast*: the leader's complete message set is sent back down
+the same tree in forward chronological order.
+
+The robustness experiments of the paper build several independent trees in
+Phase I, crash ``F`` random nodes right before Phase II and count how many
+healthy nodes' original messages are missing at the root afterwards; the
+:class:`MemoryGossiping` protocol exposes exactly these quantities in its
+result extras.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.failures import NO_FAILURES, FailurePlan
+from ..engine.knowledge import KnowledgeMatrix
+from ..engine.metrics import TransmissionLedger
+from ..engine.rng import RandomState, make_rng, spawn_rngs
+from ..engine.trace import SpreadingTrace
+from ..graphs.adjacency import Adjacency
+from .completion import gossip_complete
+from .leader_election import LeaderElection, LeaderElectionResult
+from .parameters import (
+    LeaderElectionParameters,
+    MemoryGossipingParameters,
+    MemoryGossipingSchedule,
+    tuned_memory_gossiping,
+)
+from .protocol import GossipProtocol
+from .results import GossipResult
+
+__all__ = ["CommunicationTree", "MemoryGossiping"]
+
+
+def _group_by_step(steps: np.ndarray, descending: bool) -> List[np.ndarray]:
+    """Group edge indices by their step value, ordered by step."""
+    steps = np.asarray(steps, dtype=np.int64)
+    if steps.size == 0:
+        return []
+    unique_steps = np.unique(steps)
+    if descending:
+        unique_steps = unique_steps[::-1]
+    return [np.flatnonzero(steps == s) for s in unique_steps]
+
+
+def _steps_descending(steps: np.ndarray) -> List[np.ndarray]:
+    """Edge index groups from the latest recorded step to the earliest."""
+    return _group_by_step(steps, descending=True)
+
+
+def _steps_ascending(steps: np.ndarray) -> List[np.ndarray]:
+    """Edge index groups from the earliest recorded step to the latest."""
+    return _group_by_step(steps, descending=False)
+
+
+@dataclass
+class CommunicationTree:
+    """The contact structure recorded during Phase I for one tree.
+
+    Attributes
+    ----------
+    root:
+        The leader at which the tree is rooted.
+    push_parents / push_children / push_steps:
+        One entry per push contact: the active node, the neighbour it
+        contacted, and the global Phase I step at which the contact happened.
+    pull_children / pull_parents / pull_steps:
+        One entry per first-time pull receipt: the previously uninformed node,
+        the informed neighbour it pulled the message from, and the step.
+    informed_step:
+        Step at which each node first received the leader's message
+        (-1 = never; the root has step 0).
+    """
+
+    root: int
+    push_parents: np.ndarray
+    push_children: np.ndarray
+    push_steps: np.ndarray
+    pull_children: np.ndarray
+    pull_parents: np.ndarray
+    pull_steps: np.ndarray
+    informed_step: np.ndarray
+
+    @property
+    def num_informed(self) -> int:
+        """Number of nodes that received the leader's message."""
+        return int((self.informed_step >= 0).sum())
+
+    @property
+    def num_push_edges(self) -> int:
+        """Number of recorded push contacts."""
+        return int(self.push_parents.size)
+
+    @property
+    def num_pull_edges(self) -> int:
+        """Number of recorded pull attachments."""
+        return int(self.pull_children.size)
+
+    def covers_all(self) -> bool:
+        """Whether every node received the leader's message."""
+        return bool(np.all(self.informed_step >= 0))
+
+    def first_contact_push_indices(self) -> np.ndarray:
+        """Indices of the push contacts that *first informed* their child.
+
+        Restricting Phase II to these edges turns the recorded contact
+        structure into a strict tree (one upward path per node); the
+        redundancy ablation compares this against replaying all contacts.
+        """
+        if self.push_children.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        informing = self.informed_step[self.push_children] == self.push_steps + 1
+        candidates = np.flatnonzero(informing)
+        if candidates.size == 0:
+            return candidates
+        # Several parents may have contacted the same child in the same step;
+        # keep only the first recorded contact per child.
+        _, first = np.unique(self.push_children[candidates], return_index=True)
+        return np.sort(candidates[first])
+
+    def depth_estimate(self) -> int:
+        """Largest recorded informing step (a proxy for the tree depth)."""
+        informed = self.informed_step[self.informed_step >= 0]
+        return int(informed.max()) if informed.size else 0
+
+
+class _NodeMemory:
+    """The constant-size per-node memory (list ``l_v``) of the memory model."""
+
+    def __init__(self, n: int, size: int) -> None:
+        self.size = size
+        self.slots = np.full((n, size), -1, dtype=np.int64)
+        self.pointer = np.zeros(n, dtype=np.int64)
+
+    def remembered(self, node: int) -> np.ndarray:
+        """Addresses currently stored by ``node``."""
+        row = self.slots[node]
+        return row[row >= 0]
+
+    def store(self, node: int, address: int) -> None:
+        """Store ``address`` in the next slot of ``node`` (ring buffer)."""
+        self.slots[node, self.pointer[node] % self.size] = address
+        self.pointer[node] += 1
+
+
+class MemoryGossiping(GossipProtocol):
+    """Algorithm 2 of the paper: memory-model gossiping with a leader.
+
+    Parameters
+    ----------
+    params:
+        Phase-length constants; defaults to the Table 1 tuned constants.
+    leader:
+        Fixed leader node.  ``None`` picks a uniformly random node (the
+        paper's default assumption) unless ``elect_leader`` is set.
+    elect_leader:
+        When true, run Algorithm 3 first and use the elected node; its
+        communication cost is merged into the result ledger.
+    election_params:
+        Constants for the optional leader election.
+    gather_only:
+        Stop after Phase II.  Used by the robustness experiments, which only
+        need the gathered set at the root.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        params: Optional[MemoryGossipingParameters] = None,
+        *,
+        leader: Optional[int] = None,
+        elect_leader: bool = False,
+        election_params: Optional[LeaderElectionParameters] = None,
+        gather_only: bool = False,
+    ) -> None:
+        self.params = params or tuned_memory_gossiping()
+        self.leader = leader
+        self.elect_leader = elect_leader
+        self.election_params = election_params or LeaderElectionParameters()
+        self.gather_only = gather_only
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        graph: Adjacency,
+        *,
+        rng: RandomState = None,
+        failures: FailurePlan = NO_FAILURES,
+        record_trace: bool = False,
+    ) -> GossipResult:
+        generator = self._prepare(graph, rng)
+        if not failures.is_empty() and failures.inject_at not in ("start", "before_gather"):
+            raise ValueError(
+                "MemoryGossiping supports failures injected at 'start' or 'before_gather'"
+            )
+        schedule = self.params.resolve(graph.n)
+        n = graph.n
+
+        ledger = TransmissionLedger(n)
+        trace = SpreadingTrace(enabled=record_trace)
+        knowledge = KnowledgeMatrix(n)
+
+        # Failure masks.  Failures at 'start' apply to every phase; failures
+        # at 'before_gather' (the paper's robustness setting) only constrain
+        # Phases II and III.
+        alive_full = failures.alive_mask(n)
+        alive_phase1 = alive_full if failures.applies_at("start") else None
+        alive_later = None if failures.is_empty() else alive_full
+        alive_nodes = np.flatnonzero(alive_full)
+
+        # Leader selection.
+        election_result: Optional[LeaderElectionResult] = None
+        if self.leader is not None:
+            leader = int(self.leader)
+            if not 0 <= leader < n:
+                raise ValueError(f"leader {leader} out of range [0, {n})")
+        elif self.elect_leader:
+            election = LeaderElection(self.election_params)
+            election_result = election.run(graph, rng=generator, failures=NO_FAILURES)
+            leader = election_result.leader
+            ledger = ledger.merge(election_result.ledger)
+        else:
+            leader = int(generator.integers(n))
+        if not alive_full[leader]:
+            # The paper treats the leader as healthy (it fails only with
+            # probability n^{-Omega(1)}); mirror that by protecting it.
+            raise ValueError("the leader must not be part of the failure plan")
+
+        memory = _NodeMemory(n, schedule.fanout)
+
+        # -------------------------- Phase I ---------------------------- #
+        ledger.begin_phase("phase1-tree-construction")
+        tree_rngs = spawn_rngs(generator, schedule.num_trees)
+        trees: List[CommunicationTree] = []
+        for tree_rng in tree_rngs:
+            tree = self._build_tree(
+                graph,
+                knowledge,
+                ledger,
+                tree_rng,
+                schedule,
+                leader,
+                memory,
+                alive=alive_phase1,
+            )
+            trees.append(tree)
+        trace.record(ledger.rounds - 1 if ledger.rounds else 0, "phase1-tree-construction", knowledge)
+        ledger.end_phase()
+
+        # -------------------------- Phase II --------------------------- #
+        ledger.begin_phase("phase2-gather")
+        for tree in trees:
+            self._gather(
+                tree,
+                knowledge,
+                ledger,
+                alive=alive_later,
+                contacts=schedule.gather_contacts,
+            )
+        trace.record(ledger.rounds - 1 if ledger.rounds else 0, "phase2-gather", knowledge)
+        ledger.end_phase()
+
+        lost = self._lost_messages(knowledge, leader, alive_nodes)
+
+        # -------------------------- Phase III -------------------------- #
+        completed = False
+        if not self.gather_only:
+            ledger.begin_phase("phase3-broadcast")
+            for tree in trees:
+                self._replay_broadcast(
+                    tree,
+                    knowledge,
+                    ledger,
+                    alive=alive_later,
+                    contacts=schedule.gather_contacts,
+                )
+            trace.record(ledger.rounds - 1 if ledger.rounds else 0, "phase3-broadcast", knowledge)
+            ledger.end_phase()
+            completed = gossip_complete(knowledge, alive_nodes)
+
+        extras: Dict[str, object] = {
+            "leader": leader,
+            "num_trees": len(trees),
+            "trees": trees,
+            "lost_messages": int(lost.size),
+            "lost_message_ids": lost,
+            "tree_coverage": [tree.num_informed for tree in trees],
+            "schedule": schedule.as_dict(),
+        }
+        if election_result is not None:
+            extras["election_unique"] = election_result.unique
+            extras["election_candidates"] = int(election_result.candidates.size)
+
+        return GossipResult(
+            protocol=self.name,
+            n_nodes=n,
+            completed=completed,
+            rounds=ledger.rounds,
+            ledger=ledger,
+            knowledge=knowledge,
+            trace=trace if record_trace else None,
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase I — tree construction
+    # ------------------------------------------------------------------ #
+    def _build_tree(
+        self,
+        graph: Adjacency,
+        knowledge: KnowledgeMatrix,
+        ledger: TransmissionLedger,
+        rng: np.random.Generator,
+        schedule: MemoryGossipingSchedule,
+        leader: int,
+        memory: _NodeMemory,
+        *,
+        alive: Optional[np.ndarray],
+    ) -> CommunicationTree:
+        n = graph.n
+        fanout = schedule.fanout
+        informed_step = np.full(n, -1, dtype=np.int64)
+        informed_step[leader] = 0
+
+        push_parents: List[int] = []
+        push_children: List[int] = []
+        push_steps: List[int] = []
+        pull_children: List[int] = []
+        pull_parents: List[int] = []
+        pull_steps: List[int] = []
+
+        step = 0
+        frontier: List[int] = [leader]
+
+        # ----------------------- push long-steps ----------------------- #
+        for _ in range(schedule.push_longsteps):
+            next_frontier: List[int] = []
+            opens: List[int] = []
+            for v in frontier:
+                if alive is not None and not alive[v]:
+                    continue
+                targets = graph.sample_neighbors_avoiding(
+                    v, rng, avoid=memory.remembered(v), count=fanout
+                )
+                for k, u in enumerate(targets.tolist()):
+                    memory.store(v, u)
+                    opens.append(v)
+                    contact_step = step + k
+                    if alive is not None and not alive[u]:
+                        # The packet is sent but the crashed callee drops it;
+                        # the caller still records the contact.
+                        push_parents.append(v)
+                        push_children.append(u)
+                        push_steps.append(contact_step)
+                        continue
+                    push_parents.append(v)
+                    push_children.append(u)
+                    push_steps.append(contact_step)
+                    if informed_step[u] < 0:
+                        informed_step[u] = contact_step + 1
+                        knowledge.add(u, leader)
+                        next_frontier.append(u)
+            if opens:
+                arr = np.asarray(opens, dtype=np.int64)
+                ledger.record_opens(arr)
+                ledger.record_pushes(arr)
+            step += fanout
+            for _ in range(fanout):
+                ledger.end_round()
+            frontier = next_frontier
+            if not frontier:
+                break
+
+        # ----------------------- pull long-steps ----------------------- #
+        pull_rounds_budget = schedule.pull_longsteps
+        if schedule.run_pull_until_complete:
+            pull_rounds_budget += schedule.max_extra_longsteps
+        executed = 0
+        while executed < pull_rounds_budget:
+            uninformed = np.flatnonzero(informed_step < 0)
+            if alive is not None and uninformed.size:
+                uninformed = uninformed[alive[uninformed]]
+            if uninformed.size == 0:
+                if executed >= schedule.pull_longsteps:
+                    break
+            if uninformed.size == 0 and not schedule.run_pull_until_complete:
+                break
+            for k in range(schedule.fanout):
+                callers = np.flatnonzero(informed_step < 0)
+                if alive is not None and callers.size:
+                    callers = callers[alive[callers]]
+                if callers.size == 0:
+                    ledger.end_round()
+                    step += 1
+                    continue
+                opens: List[int] = []
+                pulls: List[int] = []
+                # Synchronous semantics: only nodes informed *before* this
+                # step can answer a pull in it.
+                informed_before_step = informed_step >= 0
+                for v in callers.tolist():
+                    targets = graph.sample_neighbors_avoiding(
+                        v, rng, avoid=memory.remembered(v), count=1
+                    )
+                    if targets.size == 0:
+                        targets = graph.sample_neighbors_avoiding(v, rng, count=1)
+                    if targets.size == 0:
+                        continue
+                    u = int(targets[0])
+                    memory.store(v, u)
+                    opens.append(v)
+                    if alive is not None and not alive[u]:
+                        continue
+                    if informed_before_step[u]:
+                        pulls.append(u)
+                        informed_step[v] = step + 1
+                        knowledge.add(v, leader)
+                        pull_children.append(v)
+                        pull_parents.append(u)
+                        pull_steps.append(step)
+                if opens:
+                    ledger.record_opens(np.asarray(opens, dtype=np.int64))
+                if pulls:
+                    ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+                ledger.end_round()
+                step += 1
+            executed += 1
+            remaining_uninformed = np.flatnonzero(informed_step < 0)
+            if alive is not None and remaining_uninformed.size:
+                remaining_uninformed = remaining_uninformed[alive[remaining_uninformed]]
+            if remaining_uninformed.size == 0 and executed >= schedule.pull_longsteps:
+                break
+
+        return CommunicationTree(
+            root=leader,
+            push_parents=np.asarray(push_parents, dtype=np.int64),
+            push_children=np.asarray(push_children, dtype=np.int64),
+            push_steps=np.asarray(push_steps, dtype=np.int64),
+            pull_children=np.asarray(pull_children, dtype=np.int64),
+            pull_parents=np.asarray(pull_parents, dtype=np.int64),
+            pull_steps=np.asarray(pull_steps, dtype=np.int64),
+            informed_step=informed_step,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase II — gather along the reversed tree
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _selected_push_edges(
+        tree: CommunicationTree, contacts: str
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Push contacts used by the gather/broadcast replay.
+
+        ``"all"`` uses every recorded contact (the literal Algorithm 2);
+        ``"first"`` restricts to the contact that first informed each node.
+        """
+        if contacts == "first":
+            idx = tree.first_contact_push_indices()
+            return tree.push_parents[idx], tree.push_children[idx], tree.push_steps[idx]
+        return tree.push_parents, tree.push_children, tree.push_steps
+
+    def _gather(
+        self,
+        tree: CommunicationTree,
+        knowledge: KnowledgeMatrix,
+        ledger: TransmissionLedger,
+        *,
+        alive: Optional[np.ndarray],
+        contacts: str = "all",
+    ) -> None:
+        push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
+        # First the pull-phase attachments, children first (reverse step
+        # order): each node pushes everything it has to the node it pulled
+        # the leader's message from.  Edges recorded in the same Phase I step
+        # are replayed within the same round.
+        for edge_indices in _steps_descending(tree.pull_steps):
+            opens: List[int] = []
+            pushes: List[int] = []
+            for idx in edge_indices:
+                child = int(tree.pull_children[idx])
+                parent = int(tree.pull_parents[idx])
+                if alive is not None and not alive[child]:
+                    continue  # crashed node: no communication at all
+                opens.append(child)
+                pushes.append(child)
+                if alive is not None and not alive[parent]:
+                    continue  # crashed recipient drops the packet
+                knowledge.union_from_node(parent, child)
+            if opens:
+                ledger.record_opens(np.asarray(opens, dtype=np.int64))
+                ledger.record_pushes(np.asarray(pushes, dtype=np.int64))
+            ledger.end_round()
+        # Then the push-phase contacts in reverse chronological order: the
+        # parent re-opens the stored channel and the child answers with a pull
+        # carrying all original messages it has accumulated so far.
+        for edge_indices in _steps_descending(push_steps):
+            opens = []
+            pulls: List[int] = []
+            for idx in edge_indices:
+                parent = int(push_parents[idx])
+                child = int(push_children[idx])
+                if alive is not None and not alive[parent]:
+                    continue
+                opens.append(parent)
+                if alive is not None and not alive[child]:
+                    continue
+                pulls.append(child)
+                knowledge.union_from_node(parent, child)
+            if opens:
+                ledger.record_opens(np.asarray(opens, dtype=np.int64))
+            if pulls:
+                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+            ledger.end_round()
+
+    # ------------------------------------------------------------------ #
+    # Phase III — broadcast back down the tree
+    # ------------------------------------------------------------------ #
+    def _replay_broadcast(
+        self,
+        tree: CommunicationTree,
+        knowledge: KnowledgeMatrix,
+        ledger: TransmissionLedger,
+        *,
+        alive: Optional[np.ndarray],
+        contacts: str = "all",
+    ) -> None:
+        # Forward chronological replay: every recorded contact forwards the
+        # sender's current combined message.  Because a node's own informing
+        # contact happened strictly before its outgoing contacts, the leader's
+        # complete set cascades down the tree in a single pass.
+        push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
+        all_steps = np.concatenate([push_steps, tree.pull_steps])
+        push_count = push_steps.size
+        for edge_indices in _steps_ascending(all_steps):
+            opens: List[int] = []
+            pushes: List[int] = []
+            pulls: List[int] = []
+            for idx in edge_indices:
+                if idx < push_count:
+                    sender = int(push_parents[idx])
+                    receiver = int(push_children[idx])
+                    is_pull = False
+                else:
+                    sender = int(tree.pull_parents[idx - push_count])
+                    receiver = int(tree.pull_children[idx - push_count])
+                    is_pull = True
+                if alive is not None and not alive[sender]:
+                    continue
+                if is_pull:
+                    # The formerly uninformed node re-opens the stored channel
+                    # and the informed neighbour answers with a pull.
+                    if alive is not None and not alive[receiver]:
+                        continue
+                    opens.append(receiver)
+                    pulls.append(sender)
+                    knowledge.union_from_node(receiver, sender)
+                else:
+                    opens.append(sender)
+                    pushes.append(sender)
+                    if alive is not None and not alive[receiver]:
+                        continue
+                    knowledge.union_from_node(receiver, sender)
+            if opens:
+                ledger.record_opens(np.asarray(opens, dtype=np.int64))
+            if pushes:
+                ledger.record_pushes(np.asarray(pushes, dtype=np.int64))
+            if pulls:
+                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+            ledger.end_round()
+
+    # ------------------------------------------------------------------ #
+    # Robustness bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lost_messages(
+        knowledge: KnowledgeMatrix, leader: int, alive_nodes: np.ndarray
+    ) -> np.ndarray:
+        """Healthy nodes whose original message is missing at the leader."""
+        missing = knowledge.missing_messages_at(leader)
+        if missing.size == 0:
+            return missing
+        return np.intersect1d(missing, alive_nodes, assume_unique=False)

@@ -1,0 +1,365 @@
+"""Protocol parameters, including the tuned constants of the paper's Table 1.
+
+Both gossiping algorithms are organised in phases whose lengths are functions
+of the network size ``n``.  The analysis sections use generous constants (for
+example ``12 log n / log log n`` distribution steps); the empirical section
+tunes much smaller constants, listed in Table 1, "The actual constants used in
+our simulation".  This module provides both presets as frozen dataclasses so
+every experiment states explicitly which schedule it runs, and so ablation
+studies can vary individual fields.
+
+All logarithms are base 2, following the paper's convention (footnote 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+__all__ = [
+    "log2",
+    "loglog2",
+    "FastGossipingSchedule",
+    "FastGossipingParameters",
+    "MemoryGossipingSchedule",
+    "MemoryGossipingParameters",
+    "LeaderElectionParameters",
+    "PushPullParameters",
+    "tuned_fast_gossiping",
+    "theory_fast_gossiping",
+    "tuned_memory_gossiping",
+    "table1_rows",
+]
+
+
+def log2(n: float) -> float:
+    """Base-2 logarithm, guarded for tiny inputs."""
+    return math.log2(max(float(n), 2.0))
+
+
+def loglog2(n: float) -> float:
+    """``log2(log2(n))``, guarded so it is always at least 1."""
+    return max(1.0, math.log2(max(log2(n), 2.0)))
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1 — fast-gossiping
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FastGossipingParameters:
+    """Tunable constants of Algorithm 1 (fast-gossiping).
+
+    The fields mirror Table 1 of the paper; the concrete per-``n`` schedule is
+    obtained with :meth:`resolve`.
+
+    Attributes
+    ----------
+    distribution_steps_factor:
+        Phase I runs ``ceil(distribution_steps_factor * log log n)`` push
+        steps under the tuned preset, or
+        ``ceil(distribution_steps_factor * log n / log log n)`` under the
+        theory preset (controlled by ``distribution_uses_loglog``).
+    distribution_uses_loglog:
+        Selects between the two Phase I schedules above.
+    rounds_factor:
+        Phase II runs ``ceil(rounds_factor * log n / log log n)`` rounds.
+    walk_probability_factor:
+        Each node starts a random walk per round with probability
+        ``walk_probability_factor / log n``.
+    walk_steps_factor / walk_steps_offset:
+        Each round performs ``ceil(walk_steps_factor * log n / log log n +
+        walk_steps_offset)`` random-walk forwarding steps.
+    walk_move_cap_factor:
+        Walks stop being forwarded after ``ceil(walk_move_cap_factor * log n)``
+        moves (the ``c_moves`` cap from the paper).
+    broadcast_steps_factor:
+        Each round ends with ``ceil(broadcast_steps_factor * log log n)``
+        local push-broadcast steps by the nodes that hold walks.
+    finish_steps_factor:
+        Phase III runs push–pull steps; it is allowed up to
+        ``ceil(finish_steps_factor * log n / log log n)`` steps per chunk and
+        keeps going until gossiping completes (matching the paper, which runs
+        the last phase "until the entire graph was informed").
+    max_extra_rounds:
+        Safety bound on the total number of Phase III steps.
+    """
+
+    distribution_steps_factor: float = 1.2
+    distribution_uses_loglog: bool = True
+    rounds_factor: float = 1.0
+    walk_probability_factor: float = 1.0
+    walk_steps_factor: float = 1.0
+    walk_steps_offset: float = 2.0
+    walk_move_cap_factor: float = 1.0
+    broadcast_steps_factor: float = 0.5
+    finish_steps_factor: float = 8.0
+    max_extra_rounds: int = 4096
+
+    def resolve(self, n: int) -> "FastGossipingSchedule":
+        """Resolve the per-``n`` schedule (number of steps in each phase)."""
+        ln = log2(n)
+        lln = loglog2(n)
+        if self.distribution_uses_loglog:
+            distribution_steps = math.ceil(self.distribution_steps_factor * lln)
+        else:
+            distribution_steps = math.ceil(self.distribution_steps_factor * ln / lln)
+        return FastGossipingSchedule(
+            n=n,
+            distribution_steps=max(1, distribution_steps),
+            rounds=max(1, math.ceil(self.rounds_factor * ln / lln)),
+            walk_probability=min(1.0, self.walk_probability_factor / ln),
+            walk_steps=max(1, math.ceil(self.walk_steps_factor * ln / lln + self.walk_steps_offset)),
+            walk_move_cap=max(1, math.ceil(self.walk_move_cap_factor * ln)),
+            broadcast_steps=max(1, math.ceil(self.broadcast_steps_factor * lln)),
+            finish_steps=max(1, math.ceil(self.finish_steps_factor * ln / lln)),
+            max_extra_rounds=self.max_extra_rounds,
+        )
+
+    def with_overrides(self, **kwargs) -> "FastGossipingParameters":
+        """Return a copy with the given fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class FastGossipingSchedule:
+    """Concrete per-``n`` phase lengths of Algorithm 1."""
+
+    n: int
+    distribution_steps: int
+    rounds: int
+    walk_probability: float
+    walk_steps: int
+    walk_move_cap: int
+    broadcast_steps: int
+    finish_steps: int
+    max_extra_rounds: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (used by the Table 1 experiment)."""
+        return {
+            "n": self.n,
+            "phase1_distribution_steps": self.distribution_steps,
+            "phase2_rounds": self.rounds,
+            "phase2_walk_probability": self.walk_probability,
+            "phase2_walk_steps": self.walk_steps,
+            "phase2_walk_move_cap": self.walk_move_cap,
+            "phase2_broadcast_steps": self.broadcast_steps,
+            "phase3_finish_steps": self.finish_steps,
+        }
+
+
+def tuned_fast_gossiping() -> FastGossipingParameters:
+    """The constants of Table 1 (simulation-tuned schedule)."""
+    return FastGossipingParameters(
+        distribution_steps_factor=1.2,
+        distribution_uses_loglog=True,
+        rounds_factor=1.0,
+        walk_probability_factor=1.0,
+        walk_steps_factor=1.0,
+        walk_steps_offset=2.0,
+        broadcast_steps_factor=0.5,
+    )
+
+
+def theory_fast_gossiping() -> FastGossipingParameters:
+    """Constants following the analysis section (Algorithm 1 as stated)."""
+    return FastGossipingParameters(
+        distribution_steps_factor=12.0,
+        distribution_uses_loglog=False,
+        rounds_factor=4.0,
+        walk_probability_factor=2.0,
+        walk_steps_factor=2.0,
+        walk_steps_offset=0.0,
+        broadcast_steps_factor=0.5,
+        finish_steps_factor=8.0,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 2 — memory model
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MemoryGossipingParameters:
+    """Tunable constants of Algorithm 2 (memory-model gossiping).
+
+    Attributes
+    ----------
+    push_longsteps_factor:
+        Phase I builds the tree with ``ceil(push_longsteps_factor * log n)``
+        push *steps*, rounded up to a multiple of ``fanout`` (Table 1:
+        ``2.0 * log n`` rounded to a multiple of 4).
+    pull_longsteps_factor:
+        The pull part of Phase I runs ``floor(pull_longsteps_factor *
+        log log n)`` long-steps.
+    fanout:
+        Number of distinct neighbours contacted per long-step (the memory
+        size; 4 in the paper).
+    broadcast_steps_factor:
+        Phase III push steps: ``floor(broadcast_steps_factor * log n)``.
+    num_trees:
+        Number of independently constructed communication trees (the
+        robustness simulation in the paper builds 3).
+    run_pull_until_complete:
+        Keep running extra pull long-steps until every node holds the
+        leader's message (the paper runs the last phase of each algorithm
+        "until the entire graph was informed").
+    max_extra_longsteps:
+        Safety bound on those extra long-steps.
+    gather_contacts:
+        Which recorded contacts Phase II (and the Phase III replay) uses:
+        ``"all"`` re-contacts every neighbour stored during Phase I — the
+        literal reading of Algorithm 2, which gives each message several
+        disjoint paths to the root; ``"first"`` restricts the structure to the
+        contact that first informed each node, i.e. a strict tree — the
+        least-redundant interpretation, used by the redundancy ablation.
+    """
+
+    push_longsteps_factor: float = 2.0
+    pull_longsteps_factor: float = 2.0
+    fanout: int = 4
+    broadcast_steps_factor: float = 1.0
+    num_trees: int = 1
+    run_pull_until_complete: bool = True
+    max_extra_longsteps: int = 512
+    gather_contacts: str = "all"
+
+    def resolve(self, n: int) -> "MemoryGossipingSchedule":
+        """Resolve the per-``n`` schedule of Algorithm 2."""
+        if self.gather_contacts not in ("all", "first"):
+            raise ValueError(
+                f"gather_contacts must be 'all' or 'first', got {self.gather_contacts!r}"
+            )
+        ln = log2(n)
+        lln = loglog2(n)
+        push_steps = math.ceil(self.push_longsteps_factor * ln)
+        remainder = push_steps % self.fanout
+        if remainder:
+            push_steps += self.fanout - remainder
+        return MemoryGossipingSchedule(
+            n=n,
+            fanout=self.fanout,
+            push_longsteps=max(1, push_steps // self.fanout),
+            pull_longsteps=max(1, int(self.pull_longsteps_factor * lln)),
+            broadcast_steps=max(1, int(self.broadcast_steps_factor * ln)),
+            num_trees=self.num_trees,
+            run_pull_until_complete=self.run_pull_until_complete,
+            max_extra_longsteps=self.max_extra_longsteps,
+            gather_contacts=self.gather_contacts,
+        )
+
+    def with_overrides(self, **kwargs) -> "MemoryGossipingParameters":
+        """Return a copy with the given fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class MemoryGossipingSchedule:
+    """Concrete per-``n`` phase lengths of Algorithm 2."""
+
+    n: int
+    fanout: int
+    push_longsteps: int
+    pull_longsteps: int
+    broadcast_steps: int
+    num_trees: int
+    run_pull_until_complete: bool
+    max_extra_longsteps: int
+    gather_contacts: str = "all"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (used by the Table 1 experiment)."""
+        return {
+            "n": self.n,
+            "fanout": self.fanout,
+            "phase1_push_longsteps": self.push_longsteps,
+            "phase1_push_steps": self.push_longsteps * self.fanout,
+            "phase1_pull_longsteps": self.pull_longsteps,
+            "phase3_broadcast_steps": self.broadcast_steps,
+            "num_trees": self.num_trees,
+            "gather_contacts": self.gather_contacts,
+        }
+
+
+def tuned_memory_gossiping() -> MemoryGossipingParameters:
+    """The constants of Table 1 for Algorithm 2."""
+    return MemoryGossipingParameters(
+        push_longsteps_factor=2.0,
+        pull_longsteps_factor=2.0,
+        fanout=4,
+        broadcast_steps_factor=1.0,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 3 — leader election, and the push–pull baseline
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LeaderElectionParameters:
+    """Constants of Algorithm 3 (leader election in the memory model).
+
+    Attributes
+    ----------
+    candidate_probability_factor:
+        A node becomes a possible leader with probability
+        ``candidate_probability_factor * log^2 n / n``.
+    push_steps_rho:
+        Number of push steps is ``log n + push_steps_rho * log log n``.
+    pull_steps_rho:
+        Number of pull steps is ``pull_steps_rho * log log n``.
+    memory_size:
+        Number of recently contacted neighbours avoided by ``open-avoid``.
+    """
+
+    candidate_probability_factor: float = 1.0
+    push_steps_rho: float = 2.0
+    pull_steps_rho: float = 2.0
+    memory_size: int = 4
+
+    def candidate_probability(self, n: int) -> float:
+        """Probability that a node declares itself a possible leader."""
+        return min(1.0, self.candidate_probability_factor * log2(n) ** 2 / max(n, 2))
+
+    def push_steps(self, n: int) -> int:
+        """Number of push steps for network size ``n``."""
+        return max(1, math.ceil(log2(n) + self.push_steps_rho * loglog2(n)))
+
+    def pull_steps(self, n: int) -> int:
+        """Number of pull steps for network size ``n``."""
+        return max(1, math.ceil(self.pull_steps_rho * loglog2(n)))
+
+
+@dataclass(frozen=True)
+class PushPullParameters:
+    """Constants of the plain push–pull baseline (Algorithm 4).
+
+    Attributes
+    ----------
+    max_rounds_factor:
+        Safety limit: the protocol aborts after
+        ``ceil(max_rounds_factor * log n)`` rounds even if gossiping has not
+        completed (it normally completes well before).
+    """
+
+    max_rounds_factor: float = 8.0
+
+    def max_rounds(self, n: int) -> int:
+        """Maximum number of rounds for network size ``n``."""
+        return max(4, math.ceil(self.max_rounds_factor * log2(n)))
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 reproduction helper
+# --------------------------------------------------------------------------- #
+def table1_rows(n: int) -> Dict[str, Dict[str, object]]:
+    """Resolve the Table 1 constants for a concrete ``n``.
+
+    Returns a mapping with one entry per algorithm containing the resolved
+    phase lengths, mirroring the layout of Table 1 in the paper.
+    """
+    fast = tuned_fast_gossiping().resolve(n)
+    memory = tuned_memory_gossiping().resolve(n)
+    return {
+        "algorithm1_fast_gossiping": fast.as_dict(),
+        "algorithm2_memory_model": memory.as_dict(),
+    }

@@ -1,0 +1,71 @@
+"""Abstract base class shared by all gossiping protocols.
+
+A protocol object is a *description* of an algorithm together with its tuned
+parameters; it holds no per-run state.  Calling :meth:`GossipProtocol.run`
+executes the algorithm on a concrete graph with a concrete randomness source
+and optional failure plan, and returns a :class:`~repro.core.results.GossipResult`.
+Keeping protocols stateless makes them trivially reusable across parameter
+sweeps and process pools.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..engine.failures import NO_FAILURES, FailurePlan
+from ..engine.rng import RandomState, make_rng
+from ..graphs.adjacency import Adjacency
+from .results import GossipResult
+
+__all__ = ["GossipProtocol"]
+
+
+class GossipProtocol(abc.ABC):
+    """Common interface of all gossiping algorithms in this library."""
+
+    #: Human-readable protocol name used in reports and plots.
+    name: str = "gossip"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        graph: Adjacency,
+        *,
+        rng: RandomState = None,
+        failures: FailurePlan = NO_FAILURES,
+        record_trace: bool = False,
+    ) -> GossipResult:
+        """Execute the protocol on ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The communication network.
+        rng:
+            Randomness source (seed, generator, or ``None`` for OS entropy).
+        failures:
+            Crash-failure plan.  Protocols that do not support a given
+            injection point raise ``ValueError`` rather than silently ignoring
+            the failures.
+        record_trace:
+            When true the result carries a per-round
+            :class:`~repro.engine.trace.SpreadingTrace`.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _prepare(self, graph: Adjacency, rng: RandomState):
+        """Validate the graph and normalise the randomness source."""
+        if graph.n < 2:
+            raise ValueError("gossiping requires at least two nodes")
+        if graph.min_degree() == 0:
+            raise ValueError(
+                "graph has isolated nodes; gossiping cannot complete "
+                "(sample with require_connected=True)"
+            )
+        return make_rng(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,192 @@
+"""Random-walk machinery used by Phase II of Algorithm 1 (fast-gossiping).
+
+At the beginning of each Phase II round every node starts a random walk with a
+small probability.  A walk is a packet carrying a set of original messages; on
+arrival at a node it is merged with the node's combined message (both walk and
+node learn each other's messages), appended to the node's FIFO queue, and the
+node forwards one queued walk per step to a uniformly random neighbour.  Each
+forward is a *move*; walks are refused from queues once they exceed a move cap
+(``c_moves * log n``), which the paper uses to keep walks well mixed.
+
+The :class:`WalkPool` below stores all walks of one round in flat NumPy arrays
+(payload bitsets, move counters, hosting queue) and exposes the three
+operations the protocol needs: delivery of in-transit walks, one forwarding
+step, and the set of nodes that currently hold walks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.knowledge import KnowledgeMatrix
+from ..engine.metrics import TransmissionLedger
+from ..graphs.adjacency import Adjacency
+
+__all__ = ["WalkPool", "start_walks"]
+
+
+class WalkPool:
+    """All random walks of a single Phase II round.
+
+    Parameters
+    ----------
+    payloads:
+        ``(num_walks, words)`` packed bitset payloads, one row per walk.
+    move_cap:
+        Maximum number of moves after which a walk is no longer enqueued.
+    """
+
+    def __init__(self, payloads: np.ndarray, move_cap: int) -> None:
+        self.payloads = np.asarray(payloads, dtype=np.uint64)
+        if self.payloads.ndim != 2:
+            raise ValueError("payloads must be a 2-D array of packed words")
+        self.move_cap = int(move_cap)
+        self.num_walks = int(self.payloads.shape[0])
+        self.moves = np.zeros(self.num_walks, dtype=np.int64)
+        #: FIFO queue of walk identifiers per node.
+        self.queues: Dict[int, Deque[int]] = {}
+        #: Walks currently travelling: list of (walk_id, destination).
+        self.in_transit: List[Tuple[int, int]] = []
+        #: Walks dropped because they exceeded the move cap.
+        self.retired: List[int] = []
+        #: Total number of walk moves performed (for diagnostics).
+        self.total_moves = 0
+
+    # ------------------------------------------------------------------ #
+    # State queries
+    # ------------------------------------------------------------------ #
+    def nodes_with_walks(self) -> np.ndarray:
+        """Nodes whose queue currently holds at least one walk."""
+        hosts = [node for node, queue in self.queues.items() if queue]
+        return np.asarray(sorted(hosts), dtype=np.int64)
+
+    def queued_walks(self) -> int:
+        """Total number of queued walks."""
+        return sum(len(q) for q in self.queues.values())
+
+    def walks_in_transit(self) -> int:
+        """Number of walks currently travelling to their next host."""
+        return len(self.in_transit)
+
+    def is_idle(self) -> bool:
+        """True when no walk is queued or in transit."""
+        return self.queued_walks() == 0 and not self.in_transit
+
+    # ------------------------------------------------------------------ #
+    # Protocol operations
+    # ------------------------------------------------------------------ #
+    def send(self, walk_id: int, destination: int) -> None:
+        """Put a walk in transit towards ``destination``."""
+        self.in_transit.append((int(walk_id), int(destination)))
+
+    def deliver(self, knowledge: KnowledgeMatrix) -> None:
+        """Deliver all in-transit walks to their destinations.
+
+        For every delivered walk ``w`` arriving at node ``v`` (and still under
+        the move cap): the walk payload and ``v``'s combined message are
+        merged (``q_v.add(m' ∪ m_v)``; ``m_v ← m_v ∪ m'``) and the walk is
+        appended to ``v``'s queue.  Walks over the cap are retired without
+        touching the node's state, exactly as in the pseudocode, which skips
+        them entirely.
+        """
+        arrivals = self.in_transit
+        self.in_transit = []
+        for walk_id, destination in arrivals:
+            if self.moves[walk_id] > self.move_cap:
+                self.retired.append(walk_id)
+                continue
+            node_row = knowledge.row(destination)
+            self.payloads[walk_id] |= node_row
+            knowledge.union_into(destination, self.payloads[walk_id])
+            self.queues.setdefault(destination, deque()).append(walk_id)
+
+    def forward_step(
+        self,
+        graph: Adjacency,
+        rng: np.random.Generator,
+        ledger: TransmissionLedger,
+        *,
+        alive: Optional[np.ndarray] = None,
+    ) -> int:
+        """Every node holding walks forwards the oldest one to a random neighbour.
+
+        Returns the number of walks forwarded.  Each forward costs the hosting
+        node one channel open and one push packet.
+        """
+        hosts = self.nodes_with_walks()
+        if alive is not None and hosts.size:
+            hosts = hosts[alive[hosts]]
+        if hosts.size == 0:
+            return 0
+        destinations = graph.sample_neighbors(hosts, rng)
+        forwarded = 0
+        senders: List[int] = []
+        for host, destination in zip(hosts.tolist(), destinations.tolist()):
+            if destination < 0:
+                continue
+            if alive is not None and not alive[destination]:
+                # The channel is opened but the failed callee never stores the
+                # walk: the walk is lost (crash semantics).
+                walk_id = self.queues[host].popleft()
+                self.retired.append(walk_id)
+                senders.append(host)
+                forwarded += 1
+                continue
+            walk_id = self.queues[host].popleft()
+            self.moves[walk_id] += 1
+            self.total_moves += 1
+            self.send(walk_id, destination)
+            senders.append(host)
+            forwarded += 1
+        if senders:
+            sender_arr = np.asarray(senders, dtype=np.int64)
+            ledger.record_opens(sender_arr)
+            ledger.record_pushes(sender_arr)
+        return forwarded
+
+
+def start_walks(
+    graph: Adjacency,
+    knowledge: KnowledgeMatrix,
+    probability: float,
+    move_cap: int,
+    rng: np.random.Generator,
+    ledger: TransmissionLedger,
+    *,
+    alive: Optional[np.ndarray] = None,
+) -> WalkPool:
+    """Start the round's random walks.
+
+    Every (alive) node flips a coin and with ``probability`` starts a walk by
+    pushing its combined message to a uniformly random neighbour.  The newly
+    created walks are placed in transit in the returned :class:`WalkPool`;
+    callers should invoke :meth:`WalkPool.deliver` at the beginning of the
+    first forwarding step.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    nodes = np.arange(graph.n, dtype=np.int64)
+    if alive is not None:
+        nodes = nodes[alive[nodes]]
+    coins = rng.random(nodes.size) < probability
+    starters = nodes[coins]
+    destinations = graph.sample_neighbors(starters, rng)
+    ok = destinations >= 0
+    if alive is not None and starters.size:
+        ok &= np.where(destinations >= 0, alive[np.clip(destinations, 0, None)], False)
+    # The channel open and push happen regardless of whether the callee is
+    # healthy; only delivery depends on it.
+    if starters.size:
+        ledger.record_opens(starters)
+        ledger.record_pushes(starters)
+    starters_ok = starters[ok]
+    destinations_ok = destinations[ok]
+    payloads = knowledge.data[starters_ok].copy()
+    pool = WalkPool(payloads, move_cap)
+    for walk_id, destination in enumerate(destinations_ok.tolist()):
+        pool.send(walk_id, destination)
+    return pool

@@ -1,0 +1,104 @@
+"""Result records returned by gossiping protocol runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..engine.knowledge import KnowledgeMatrix
+from ..engine.metrics import MessageAccounting, TransmissionLedger
+from ..engine.trace import SpreadingTrace
+
+__all__ = ["GossipResult"]
+
+
+@dataclass
+class GossipResult:
+    """Outcome of a single protocol execution.
+
+    Attributes
+    ----------
+    protocol:
+        Name of the protocol that produced the result.
+    n_nodes:
+        Network size.
+    completed:
+        Whether every (alive) target node knows every message at the end.
+    rounds:
+        Number of synchronous steps executed.
+    ledger:
+        Per-node communication cost accounting.
+    knowledge:
+        Final knowledge state (may be ``None`` when the caller asked the
+        protocol to discard it to save memory).
+    trace:
+        Optional per-round progress trace.
+    extras:
+        Protocol-specific extra outputs (e.g. the leader identifier, the
+        communication trees of the memory model, lost-message statistics under
+        failures).
+    """
+
+    protocol: str
+    n_nodes: int
+    completed: bool
+    rounds: int
+    ledger: TransmissionLedger
+    knowledge: Optional[KnowledgeMatrix] = None
+    trace: Optional[SpreadingTrace] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used by experiments
+    # ------------------------------------------------------------------ #
+    def messages_per_node(
+        self, accounting: MessageAccounting = MessageAccounting.PACKETS
+    ) -> float:
+        """Average communication cost per node under the chosen accounting."""
+        return self.ledger.average_per_node(accounting)
+
+    def total_messages(
+        self, accounting: MessageAccounting = MessageAccounting.PACKETS
+    ) -> int:
+        """Total communication cost under the chosen accounting."""
+        return self.ledger.total(accounting)
+
+    def max_messages_per_node(
+        self, accounting: MessageAccounting = MessageAccounting.PACKETS
+    ) -> int:
+        """Maximum per-node communication cost."""
+        return self.ledger.max_per_node(accounting)
+
+    def coverage(self) -> float:
+        """Final fraction of known (node, message) pairs (1.0 when complete)."""
+        if self.knowledge is None:
+            return 1.0 if self.completed else float("nan")
+        return self.knowledge.coverage()
+
+    def summary(self) -> Dict[str, Any]:
+        """Serializable summary used by the experiment harness."""
+        data: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "messages_per_node": self.messages_per_node(),
+            "opens_per_node": self.messages_per_node(MessageAccounting.OPENS),
+            "strict_cost_per_node": self.messages_per_node(
+                MessageAccounting.OPENS_AND_PACKETS
+            ),
+            "ledger": self.ledger.summary(),
+        }
+        for key, value in self.extras.items():
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                data[f"extra_{key}"] = value
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GossipResult(protocol={self.protocol!r}, n={self.n_nodes}, "
+            f"completed={self.completed}, rounds={self.rounds}, "
+            f"messages_per_node={self.messages_per_node():.2f})"
+        )

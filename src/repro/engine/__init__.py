@@ -1,0 +1,38 @@
+"""Random phone call model execution substrate.
+
+This package provides the building blocks shared by every protocol in the
+library: deterministic randomness management (:mod:`repro.engine.rng`), packed
+bitset knowledge tracking (:mod:`repro.engine.knowledge`), per-step channel
+bookkeeping (:mod:`repro.engine.channels`), communication-cost accounting
+(:mod:`repro.engine.metrics`), crash-failure plans
+(:mod:`repro.engine.failures`) and per-round progress traces
+(:mod:`repro.engine.trace`).
+"""
+
+from .channels import ChannelSet, open_channels
+from .failures import NO_FAILURES, FailurePlan, sample_uniform_failures
+from .knowledge import KnowledgeMatrix, SingleMessageState, WORD_BITS
+from .metrics import MessageAccounting, PhaseTotals, TransmissionLedger
+from .rng import RandomState, derive_seed, ensure_rng, make_rng, spawn_rngs
+from .trace import RoundRecord, SpreadingTrace
+
+__all__ = [
+    "ChannelSet",
+    "open_channels",
+    "NO_FAILURES",
+    "FailurePlan",
+    "sample_uniform_failures",
+    "KnowledgeMatrix",
+    "SingleMessageState",
+    "WORD_BITS",
+    "MessageAccounting",
+    "PhaseTotals",
+    "TransmissionLedger",
+    "RandomState",
+    "derive_seed",
+    "ensure_rng",
+    "make_rng",
+    "spawn_rngs",
+    "RoundRecord",
+    "SpreadingTrace",
+]

@@ -1,0 +1,131 @@
+"""Per-step channel bookkeeping for the random phone call model.
+
+In each synchronous step every participating node opens at most one *outgoing*
+channel to a neighbour chosen uniformly at random; the same channel is an
+*incoming* channel for the callee and can be used bidirectionally (push by the
+caller, pull by the callee) during that step.  A node can therefore have at
+most one outgoing channel but arbitrarily many incoming ones.
+
+:func:`open_channels` performs the random choices for a whole step at once and
+returns a :class:`ChannelSet`, which exposes both directions of the resulting
+communication structure in CSR-like form so that protocols can vectorise their
+push and pull transmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graphs.adjacency import Adjacency
+
+__all__ = ["ChannelSet", "open_channels"]
+
+
+@dataclass(frozen=True)
+class ChannelSet:
+    """The set of channels opened in one synchronous step.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes in the network.
+    callers:
+        Nodes that opened a channel this step (sorted, unique).
+    targets:
+        ``targets[i]`` is the callee of ``callers[i]``.
+    outgoing:
+        Dense array of length ``n_nodes``: the callee of each node's outgoing
+        channel, or ``-1`` if the node opened no channel this step.
+    """
+
+    n_nodes: int
+    callers: np.ndarray
+    targets: np.ndarray
+    outgoing: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def num_channels(self) -> int:
+        """Number of channels opened this step."""
+        return int(self.callers.size)
+
+    def incoming_counts(self) -> np.ndarray:
+        """Number of incoming channels per node."""
+        counts = np.zeros(self.n_nodes, dtype=np.int64)
+        if self.targets.size:
+            np.add.at(counts, self.targets, 1)
+        return counts
+
+    def incoming_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(callees, callers)`` aligned arrays of all channels.
+
+        ``callees[i]`` received an incoming channel from ``callers[i]``.  The
+        pairs are sorted by callee, which groups each node's incoming channels
+        contiguously.
+        """
+        if self.targets.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        order = np.argsort(self.targets, kind="stable")
+        return self.targets[order], self.callers[order]
+
+    def channels_into(self, node: int) -> np.ndarray:
+        """Callers that opened a channel to ``node`` this step."""
+        return self.callers[self.targets == node]
+
+    def has_outgoing(self, node: int) -> bool:
+        """Whether ``node`` opened a channel this step."""
+        return bool(self.outgoing[node] >= 0)
+
+
+def open_channels(
+    graph: Adjacency,
+    rng: np.random.Generator,
+    *,
+    participants: Optional[np.ndarray] = None,
+    alive: Optional[np.ndarray] = None,
+) -> ChannelSet:
+    """Open one random outgoing channel for every participating node.
+
+    Parameters
+    ----------
+    graph:
+        The communication network.
+    rng:
+        Randomness source for the neighbour choices.
+    participants:
+        Nodes that open a channel this step.  Defaults to all nodes.
+    alive:
+        Optional boolean mask of alive nodes.  Failed nodes neither open
+        channels nor can be reached: a channel whose callee is failed is still
+        *opened* (and counted by the caller's ledger) but carries no usable
+        endpoint, so it is excluded from the returned channel set — this
+        mirrors non-malicious crash failures where the failed node simply does
+        not communicate.
+
+    Returns
+    -------
+    ChannelSet
+        The channels successfully established this step.
+    """
+    if participants is None:
+        participants = np.arange(graph.n, dtype=np.int64)
+    else:
+        participants = np.asarray(participants, dtype=np.int64)
+    if alive is not None:
+        participants = participants[alive[participants]]
+    targets = graph.sample_neighbors(participants, rng)
+    ok = targets >= 0
+    if alive is not None and targets.size:
+        ok &= np.where(targets >= 0, alive[np.clip(targets, 0, None)], False)
+    callers = participants[ok]
+    callees = targets[ok]
+    outgoing = np.full(graph.n, -1, dtype=np.int64)
+    outgoing[callers] = callees
+    return ChannelSet(
+        n_nodes=graph.n, callers=callers, targets=callees, outgoing=outgoing
+    )

@@ -1,0 +1,112 @@
+"""Non-malicious crash-failure model used in the robustness experiments.
+
+The paper analyses robustness against ``f = n^{epsilon'}`` *random node
+failures*: nodes chosen uniformly at random that may fail at any time during
+the execution; a failed node does not communicate at all (it neither stores
+incoming packets nor transmits).  The empirical robustness study (Figures 2, 3
+and 5) marks ``F`` uniformly random nodes as failed right before Phase II of
+the memory-model algorithm.
+
+:class:`FailurePlan` captures *which* nodes fail and *when* (by named
+injection point), decoupling failure sampling from protocol execution so that
+the same plan can be replayed against several independently built
+communication trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .rng import RandomState, make_rng
+
+__all__ = ["FailurePlan", "sample_uniform_failures", "NO_FAILURES"]
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """A set of failed nodes together with the injection point.
+
+    Attributes
+    ----------
+    failed:
+        Sorted array of node identifiers that fail.
+    inject_at:
+        Symbolic name of the protocol point at which the failures take
+        effect.  The memory-model robustness experiments use
+        ``"before_gather"`` (i.e. before Phase II), matching the paper.
+    """
+
+    failed: np.ndarray
+    inject_at: str = "before_gather"
+
+    def __post_init__(self) -> None:
+        arr = np.unique(np.asarray(self.failed, dtype=np.int64))
+        object.__setattr__(self, "failed", arr)
+
+    @property
+    def count(self) -> int:
+        """Number of failed nodes."""
+        return int(self.failed.size)
+
+    def alive_mask(self, n_nodes: int) -> np.ndarray:
+        """Boolean mask of length ``n_nodes`` with failed nodes set to False."""
+        mask = np.ones(n_nodes, dtype=bool)
+        if self.failed.size:
+            if self.failed.max() >= n_nodes or self.failed.min() < 0:
+                raise ValueError("failed node identifier out of range")
+            mask[self.failed] = False
+        return mask
+
+    def is_empty(self) -> bool:
+        """True when no node fails."""
+        return self.failed.size == 0
+
+    def applies_at(self, point: str) -> bool:
+        """Whether this plan injects failures at the named protocol point."""
+        return not self.is_empty() and self.inject_at == point
+
+
+#: A reusable plan representing fault-free execution.
+NO_FAILURES = FailurePlan(failed=np.zeros(0, dtype=np.int64))
+
+
+def sample_uniform_failures(
+    n_nodes: int,
+    count: int,
+    rng: RandomState = None,
+    *,
+    inject_at: str = "before_gather",
+    protect: Optional[Iterable[int]] = None,
+) -> FailurePlan:
+    """Sample ``count`` uniformly random failed nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Network size.
+    count:
+        Number of nodes to fail.  Must satisfy ``0 <= count <= n_nodes``
+        (minus the protected set).
+    rng:
+        Randomness source.
+    inject_at:
+        Injection point label recorded in the plan.
+    protect:
+        Nodes that must not be selected (e.g. the leader, so that the
+        gathering root survives — the paper notes the leader fails only with
+        probability ``n^{-Omega(1)}`` and treats it as healthy).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    generator = make_rng(rng)
+    protected = np.unique(np.asarray(list(protect or []), dtype=np.int64))
+    eligible = np.setdiff1d(np.arange(n_nodes, dtype=np.int64), protected)
+    if count > eligible.size:
+        raise ValueError(
+            f"cannot fail {count} nodes: only {eligible.size} eligible nodes"
+        )
+    failed = generator.choice(eligible, size=count, replace=False)
+    return FailurePlan(failed=np.sort(failed), inject_at=inject_at)

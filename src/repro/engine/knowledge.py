@@ -1,0 +1,324 @@
+"""Packed-bitset bookkeeping of which node knows which original message.
+
+Gossiping is an all-to-all dissemination problem: each of the ``n`` nodes
+starts with one original message and every node must eventually know all ``n``
+messages.  The simulator therefore has to track, for every node, the *set* of
+original messages it currently knows.  A dense boolean ``n x n`` matrix would
+need ``n**2`` bytes; instead we pack message sets into rows of 64-bit words,
+which both reduces memory by a factor of eight and turns message-set unions
+(the only mutation the random phone call model needs) into a handful of
+vectorised ``|=`` operations.
+
+Two classes are provided:
+
+``KnowledgeMatrix``
+    The full gossiping state: one bitset row per node over ``n_messages``
+    message slots.
+
+``SingleMessageState``
+    A light-weight informed/uninformed boolean vector used by the
+    single-message *broadcasting* baselines in :mod:`repro.broadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["KnowledgeMatrix", "SingleMessageState", "WORD_BITS"]
+
+#: Number of bits per storage word.
+WORD_BITS = 64
+
+_WORD_DTYPE = np.uint64
+
+
+def _n_words(n_bits: int) -> int:
+    """Number of 64-bit words needed to store ``n_bits`` bits."""
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+class KnowledgeMatrix:
+    """Which original messages each node currently knows, as packed bitsets.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the network.
+    n_messages:
+        Number of distinct original messages.  Defaults to ``n_nodes`` (the
+        gossiping setting where node ``i`` starts with message ``i``).
+    initialize_own:
+        When true (the default) node ``i`` starts knowing message ``i``
+        (requires ``n_messages >= n_nodes`` or simply ``i < n_messages``).
+
+    Notes
+    -----
+    Rows are mutated in place.  All update helpers take a *snapshot* argument
+    where the synchronous semantics of the random phone call model require
+    reading start-of-step state while writing end-of-step state.
+    """
+
+    __slots__ = ("n_nodes", "n_messages", "words", "data")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_messages: Optional[int] = None,
+        *,
+        initialize_own: bool = True,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if n_messages is None:
+            n_messages = n_nodes
+        if n_messages <= 0:
+            raise ValueError(f"n_messages must be positive, got {n_messages}")
+        self.n_nodes = int(n_nodes)
+        self.n_messages = int(n_messages)
+        self.words = _n_words(self.n_messages)
+        self.data = np.zeros((self.n_nodes, self.words), dtype=_WORD_DTYPE)
+        if initialize_own:
+            upto = min(self.n_nodes, self.n_messages)
+            idx = np.arange(upto)
+            self.data[idx, idx // WORD_BITS] |= np.left_shift(
+                np.uint64(1), (idx % WORD_BITS).astype(_WORD_DTYPE)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors and copies
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n_nodes: int, n_messages: Optional[int] = None) -> "KnowledgeMatrix":
+        """A matrix in which no node knows any message."""
+        return cls(n_nodes, n_messages, initialize_own=False)
+
+    def copy(self) -> "KnowledgeMatrix":
+        """Deep copy of the knowledge state."""
+        clone = KnowledgeMatrix.empty(self.n_nodes, self.n_messages)
+        clone.data[:] = self.data
+        return clone
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the raw word matrix (used for synchronous-step reads)."""
+        return self.data.copy()
+
+    # ------------------------------------------------------------------ #
+    # Element access
+    # ------------------------------------------------------------------ #
+    def _bit(self, message: int) -> np.uint64:
+        return np.uint64(1) << np.uint64(message % WORD_BITS)
+
+    def add(self, node: int, message: int) -> None:
+        """Mark ``node`` as knowing ``message``."""
+        self._check_message(message)
+        self.data[node, message // WORD_BITS] |= self._bit(message)
+
+    def knows(self, node: int, message: int) -> bool:
+        """Whether ``node`` currently knows ``message``."""
+        self._check_message(message)
+        word = self.data[node, message // WORD_BITS]
+        return bool(word & self._bit(message))
+
+    def known_messages(self, node: int) -> np.ndarray:
+        """Sorted array of message identifiers known by ``node``."""
+        bits = np.unpackbits(self.data[node].view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self.n_messages])
+
+    def _check_message(self, message: int) -> None:
+        if not 0 <= message < self.n_messages:
+            raise IndexError(
+                f"message {message} out of range [0, {self.n_messages})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Bulk updates (the hot path)
+    # ------------------------------------------------------------------ #
+    def union_into(self, dst: int, src_row: np.ndarray) -> None:
+        """OR an external bitset row into ``dst``'s knowledge."""
+        self.data[dst] |= src_row
+
+    def union_from_node(self, dst: int, src: int, snapshot: Optional[np.ndarray] = None) -> None:
+        """Make ``dst`` learn everything ``src`` knows.
+
+        If ``snapshot`` is given, ``src``'s knowledge is read from it (the
+        synchronous-model convention); otherwise the live matrix is read.
+        """
+        source = self.data if snapshot is None else snapshot
+        self.data[dst] |= source[src]
+
+    def apply_transmissions(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        snapshot: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a batch of directed transmissions ``senders[i] -> receivers[i]``.
+
+        All transmissions are evaluated against the same start-of-step
+        ``snapshot`` (taken implicitly if not supplied), so a message cannot
+        hop through several nodes within a single synchronous step.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if senders.shape != receivers.shape:
+            raise ValueError("senders and receivers must have identical shapes")
+        if senders.size == 0:
+            return
+        source = self.snapshot() if snapshot is None else snapshot
+        # Receivers may repeat (several incoming channels); a Python loop over
+        # transmissions with vectorised row ORs is both correct and fast
+        # enough: each OR touches ``words`` contiguous uint64 values.
+        data = self.data
+        for s, r in zip(senders.tolist(), receivers.tolist()):
+            data[r] |= source[s]
+
+    # ------------------------------------------------------------------ #
+    # Aggregate queries
+    # ------------------------------------------------------------------ #
+    def counts(self) -> np.ndarray:
+        """Number of messages known by each node (length ``n_nodes``)."""
+        return np.bitwise_count(self.data).sum(axis=1).astype(np.int64)
+
+    def nodes_knowing(self, message: int) -> np.ndarray:
+        """Array of node identifiers that know ``message``."""
+        self._check_message(message)
+        word = message // WORD_BITS
+        mask = (self.data[:, word] & self._bit(message)) != 0
+        return np.flatnonzero(mask)
+
+    def num_nodes_knowing(self, message: int) -> int:
+        """Number of nodes that know ``message``."""
+        return int(self.nodes_knowing(message).size)
+
+    def informed_counts_per_message(self) -> np.ndarray:
+        """For every message, the number of nodes knowing it."""
+        bits = np.unpackbits(
+            self.data.view(np.uint8), axis=1, bitorder="little"
+        )[:, : self.n_messages]
+        return bits.sum(axis=0, dtype=np.int64)
+
+    def fully_informed_nodes(self) -> np.ndarray:
+        """Boolean mask of nodes that know every message."""
+        return self.counts() == self.n_messages
+
+    def is_complete(self) -> bool:
+        """True when every node knows every message (gossiping finished)."""
+        full_word = np.uint64(0xFFFFFFFFFFFFFFFF)
+        # Check all full words first (cheap early exit).
+        full_words = self.words - 1 if self.n_messages % WORD_BITS else self.words
+        if full_words and not np.all(self.data[:, :full_words] == full_word):
+            return False
+        rem = self.n_messages % WORD_BITS
+        if rem:
+            tail_mask = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+            if not np.all(self.data[:, -1] == tail_mask):
+                return False
+        return True
+
+    def total_known(self) -> int:
+        """Total number of (node, message) pairs currently known."""
+        return int(np.bitwise_count(self.data).sum())
+
+    def coverage(self) -> float:
+        """Fraction of the ``n_nodes * n_messages`` pairs that are known."""
+        return self.total_known() / float(self.n_nodes * self.n_messages)
+
+    def missing_messages_at(self, node: int) -> np.ndarray:
+        """Message identifiers *not* known by ``node``."""
+        known = np.unpackbits(self.data[node].view(np.uint8), bitorder="little")
+        return np.flatnonzero(~known[: self.n_messages].astype(bool))
+
+    # ------------------------------------------------------------------ #
+    # Row-level helpers (used by the random-walk machinery)
+    # ------------------------------------------------------------------ #
+    def row(self, node: int) -> np.ndarray:
+        """Live view of ``node``'s bitset row."""
+        return self.data[node]
+
+    def zero_row(self) -> np.ndarray:
+        """A fresh all-zero row compatible with this matrix."""
+        return np.zeros(self.words, dtype=_WORD_DTYPE)
+
+    def row_with(self, messages: Iterable[int]) -> np.ndarray:
+        """A fresh row with exactly ``messages`` set."""
+        row = self.zero_row()
+        for m in messages:
+            self._check_message(m)
+            row[m // WORD_BITS] |= self._bit(m)
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Dunder conveniences
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnowledgeMatrix):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.n_messages == other.n_messages
+            and bool(np.array_equal(self.data, other.data))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeMatrix(n_nodes={self.n_nodes}, n_messages={self.n_messages}, "
+            f"coverage={self.coverage():.3f})"
+        )
+
+
+class SingleMessageState:
+    """Informed/uninformed state for single-message broadcasting baselines.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the network.
+    source:
+        The initially informed node (defaults to node 0).
+    """
+
+    __slots__ = ("n_nodes", "informed", "informed_at")
+
+    def __init__(self, n_nodes: int, source: int = 0) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if not 0 <= source < n_nodes:
+            raise ValueError(f"source {source} out of range [0, {n_nodes})")
+        self.n_nodes = int(n_nodes)
+        self.informed = np.zeros(n_nodes, dtype=bool)
+        self.informed[source] = True
+        #: round index at which each node was first informed (-1 = never).
+        self.informed_at = np.full(n_nodes, -1, dtype=np.int64)
+        self.informed_at[source] = 0
+
+    def num_informed(self) -> int:
+        """Number of currently informed nodes."""
+        return int(self.informed.sum())
+
+    def is_complete(self) -> bool:
+        """True when all nodes are informed."""
+        return bool(self.informed.all())
+
+    def inform(self, nodes: np.ndarray, round_index: int) -> int:
+        """Mark ``nodes`` as informed during ``round_index``.
+
+        Returns the number of *newly* informed nodes.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return 0
+        fresh = nodes[~self.informed[nodes]]
+        fresh = np.unique(fresh)
+        self.informed[fresh] = True
+        self.informed_at[fresh] = round_index
+        return int(fresh.size)
+
+    def uninformed_nodes(self) -> np.ndarray:
+        """Array of nodes that are still uninformed."""
+        return np.flatnonzero(~self.informed)
+
+    def informed_nodes(self) -> np.ndarray:
+        """Array of nodes that are informed."""
+        return np.flatnonzero(self.informed)

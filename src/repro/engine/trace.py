@@ -1,0 +1,133 @@
+"""Per-round progress traces of a gossiping or broadcasting run.
+
+The analytical part of the paper reasons about the growth of the informed set
+``I_m(t)`` per message over time; the empirical part reports end-of-run
+aggregates.  :class:`SpreadingTrace` records a small per-round summary of the
+knowledge state so that examples and analysis code can plot spreading curves
+without storing the full knowledge matrix per round (which would be
+prohibitively large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .knowledge import KnowledgeMatrix, SingleMessageState
+
+__all__ = ["RoundRecord", "SpreadingTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Summary of the knowledge state at the end of one round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round counter (global across phases).
+    phase:
+        Name of the protocol phase the round belongs to.
+    coverage:
+        Fraction of known (node, message) pairs.
+    min_known / mean_known / max_known:
+        Statistics of the per-node knowledge counts.
+    fully_informed_nodes:
+        Number of nodes that already know every message.
+    """
+
+    round_index: int
+    phase: str
+    coverage: float
+    min_known: int
+    mean_known: float
+    max_known: int
+    fully_informed_nodes: int
+
+
+class SpreadingTrace:
+    """Accumulates :class:`RoundRecord` entries over a protocol run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[RoundRecord] = []
+
+    def record(
+        self,
+        round_index: int,
+        phase: str,
+        knowledge: KnowledgeMatrix,
+    ) -> None:
+        """Append a summary of ``knowledge`` for ``round_index``."""
+        if not self.enabled:
+            return
+        counts = knowledge.counts()
+        total = knowledge.n_nodes * knowledge.n_messages
+        self.records.append(
+            RoundRecord(
+                round_index=round_index,
+                phase=phase,
+                coverage=float(counts.sum()) / float(total),
+                min_known=int(counts.min()),
+                mean_known=float(counts.mean()),
+                max_known=int(counts.max()),
+                fully_informed_nodes=int((counts == knowledge.n_messages).sum()),
+            )
+        )
+
+    def record_broadcast(
+        self, round_index: int, phase: str, state: SingleMessageState
+    ) -> None:
+        """Append a summary of a single-message broadcast ``state``."""
+        if not self.enabled:
+            return
+        informed = state.num_informed()
+        self.records.append(
+            RoundRecord(
+                round_index=round_index,
+                phase=phase,
+                coverage=informed / float(state.n_nodes),
+                min_known=int(state.informed.min()),
+                mean_known=informed / float(state.n_nodes),
+                max_known=int(state.informed.max()),
+                fully_informed_nodes=informed,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def coverage_curve(self) -> np.ndarray:
+        """Array of per-round coverage values."""
+        return np.asarray([r.coverage for r in self.records], dtype=np.float64)
+
+    def rounds_per_phase(self) -> Dict[str, int]:
+        """Number of recorded rounds attributed to each phase."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.phase] = out.get(record.phase, 0) + 1
+        return out
+
+    def final_coverage(self) -> float:
+        """Coverage at the last recorded round (0.0 if nothing recorded)."""
+        return self.records[-1].coverage if self.records else 0.0
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Plain-dict rows for CSV/JSON export."""
+        return [
+            {
+                "round": r.round_index,
+                "phase": r.phase,
+                "coverage": r.coverage,
+                "min_known": r.min_known,
+                "mean_known": r.mean_known,
+                "max_known": r.max_known,
+                "fully_informed_nodes": r.fully_informed_nodes,
+            }
+            for r in self.records
+        ]

@@ -1,0 +1,68 @@
+"""Experiment harness: one module per paper table/figure plus extensions.
+
+Every ``run_*`` function returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows correspond to
+the points of the paper's plot (or the rows of its table); call
+``result.to_table()`` for a printable report or ``result.save(dir)`` to
+persist the rows as JSON/CSV.
+"""
+
+from .ablation_parameters import run_parameter_ablation
+from .ablation_redundancy import run_redundancy_ablation
+from .broadcast_vs_gossip import run_broadcast_ablation
+from .config import (
+    BroadcastAblationConfig,
+    DensitySweepConfig,
+    LeaderElectionConfig,
+    ParameterAblationConfig,
+    RobustnessConfig,
+    RobustnessDetailConfig,
+    SizeSweepConfig,
+)
+from .density_sweep import run_density_sweep
+from .figure1 import FIGURE1_COLUMNS, run_figure1
+from .figure2 import FIGURE2_COLUMNS, run_figure2
+from .figure3 import FIGURE3_COLUMNS, run_figure3
+from .figure4 import FIGURE4_COLUMNS, default_figure4_config, run_figure4
+from .figure5 import figure5_columns, run_figure5
+from .graph_models import run_graph_model_comparison
+from .leader_election_cost import run_leader_election_cost
+from .report import build_report, experiment_section, markdown_table, write_report
+from .runner import ExperimentResult, aggregate_records, make_protocol
+from .table1 import TABLE1_COLUMNS, run_table1
+
+__all__ = [
+    "run_parameter_ablation",
+    "run_redundancy_ablation",
+    "run_broadcast_ablation",
+    "BroadcastAblationConfig",
+    "DensitySweepConfig",
+    "LeaderElectionConfig",
+    "ParameterAblationConfig",
+    "RobustnessConfig",
+    "RobustnessDetailConfig",
+    "SizeSweepConfig",
+    "run_density_sweep",
+    "FIGURE1_COLUMNS",
+    "run_figure1",
+    "FIGURE2_COLUMNS",
+    "run_figure2",
+    "FIGURE3_COLUMNS",
+    "run_figure3",
+    "FIGURE4_COLUMNS",
+    "default_figure4_config",
+    "run_figure4",
+    "figure5_columns",
+    "run_figure5",
+    "run_graph_model_comparison",
+    "run_leader_election_cost",
+    "build_report",
+    "experiment_section",
+    "markdown_table",
+    "write_report",
+    "ExperimentResult",
+    "aggregate_records",
+    "make_protocol",
+    "TABLE1_COLUMNS",
+    "run_table1",
+]

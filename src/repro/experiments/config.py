@@ -1,0 +1,251 @@
+"""Configurations of the reproduction experiments.
+
+The paper simulates graphs of up to a million nodes on 64-core, 0.5–1 TB
+machines; the default configurations here are scaled down so that the full
+suite finishes on a laptop in minutes while preserving the growth trends over
+a decade of sizes.  Every configuration dataclass has two constructors:
+
+``quick()``
+    The default used by the test-suite and the pytest benchmarks.
+
+``paper_scale()``
+    Larger sizes closer to the paper's ranges, for users with more time and
+    memory (still bounded by the O(n²/8) knowledge matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SizeSweepConfig",
+    "RobustnessConfig",
+    "RobustnessDetailConfig",
+    "DensitySweepConfig",
+    "BroadcastAblationConfig",
+    "ParameterAblationConfig",
+    "LeaderElectionConfig",
+]
+
+
+@dataclass(frozen=True)
+class SizeSweepConfig:
+    """Configuration of the Figure 1 / Figure 4 size sweeps.
+
+    Attributes
+    ----------
+    sizes:
+        Graph sizes (the paper sweeps 10^3 … 10^6; we default to powers of two
+        spanning roughly a decade).
+    repetitions:
+        Independent runs per (size, protocol) pair.
+    seed:
+        Base seed; all runs derive their seeds deterministically from it.
+    protocols:
+        Protocols included in the sweep.
+    density_exponent:
+        The sweep uses ``G(n, log^density_exponent(n) / n)``; the paper uses 2.
+    n_jobs:
+        Worker processes for the sweep.
+    """
+
+    sizes: Tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+    repetitions: int = 3
+    seed: Optional[int] = 20150525
+    protocols: Tuple[str, ...] = ("push-pull", "fast-gossiping", "memory")
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "SizeSweepConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "SizeSweepConfig":
+        """Larger sizes closer to the paper's range (slower)."""
+        return cls(sizes=(1024, 2048, 4096, 8192, 16384, 32768), repetitions=5)
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Configuration of the Figure 2 / Figure 3 robustness sweeps.
+
+    Attributes
+    ----------
+    size:
+        Graph size (the paper uses 10^6 for Figure 2 and 10^5 / 5*10^5 for
+        Figure 3).
+    failed_fractions:
+        Failed-node counts expressed as fractions of ``size``.
+    num_trees:
+        Independently built communication trees (3 in the paper).
+    repetitions:
+        Runs per failure count.
+    """
+
+    size: int = 2048
+    failed_fractions: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+    num_trees: int = 3
+    repetitions: int = 3
+    seed: Optional[int] = 20150526
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls, size: int = 2048) -> "RobustnessConfig":
+        """Laptop-scale default configuration."""
+        return cls(size=size)
+
+    @classmethod
+    def paper_scale(cls, size: int = 16384) -> "RobustnessConfig":
+        """Larger graph (slower)."""
+        return cls(size=size, repetitions=5)
+
+    def failed_counts(self) -> List[int]:
+        """Absolute failed-node counts derived from the fractions."""
+        return [int(round(self.size * fraction)) for fraction in self.failed_fractions]
+
+
+@dataclass(frozen=True)
+class RobustnessDetailConfig:
+    """Configuration of the Figure 5 threshold-exceedance study.
+
+    Attributes
+    ----------
+    sizes:
+        Graph sizes (the paper uses 10^5 and 5*10^5).
+    thresholds:
+        Additional-loss thresholds T; the paper reports T in {0, 10, 100}.
+    failed_fractions:
+        Failure counts as fractions of each size.
+    repetitions:
+        Runs per (size, failure count); the paper uses at least 5.
+    """
+
+    sizes: Tuple[int, ...] = (1024, 2048)
+    thresholds: Tuple[int, ...] = (0, 10, 100)
+    failed_fractions: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+    num_trees: int = 3
+    repetitions: int = 5
+    seed: Optional[int] = 20150527
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "RobustnessDetailConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "RobustnessDetailConfig":
+        """Larger sizes (slower)."""
+        return cls(sizes=(8192, 16384), repetitions=5)
+
+
+@dataclass(frozen=True)
+class DensitySweepConfig:
+    """Configuration of the density-sweep extension (E7).
+
+    The titular question of the paper: how does the communication overhead of
+    gossiping depend on the graph density?  We fix ``n`` and sweep the
+    expected degree from ``log^2 n`` up to the complete graph.
+    """
+
+    size: int = 1024
+    expected_degrees: Tuple[float, ...] = ()
+    include_complete: bool = True
+    protocols: Tuple[str, ...] = ("push-pull", "fast-gossiping", "memory")
+    repetitions: int = 3
+    seed: Optional[int] = 20150528
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "DensitySweepConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "DensitySweepConfig":
+        """Larger graph (slower)."""
+        return cls(size=8192, repetitions=3)
+
+    def degrees(self) -> List[float]:
+        """Expected degrees of the sweep (defaults to log²n · {1, 2, 4, 8, …})."""
+        if self.expected_degrees:
+            return list(self.expected_degrees)
+        import math
+
+        base = math.log2(self.size) ** 2
+        degrees: List[float] = []
+        factor = 1.0
+        while base * factor < self.size / 2:
+            degrees.append(base * factor)
+            factor *= 4.0
+        return degrees
+
+
+@dataclass(frozen=True)
+class BroadcastAblationConfig:
+    """Configuration of the broadcast-vs-gossip separation ablation (E8)."""
+
+    sizes: Tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+    repetitions: int = 3
+    seed: Optional[int] = 20150529
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "BroadcastAblationConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "BroadcastAblationConfig":
+        """Larger sizes (slower)."""
+        return cls(sizes=(1024, 4096, 16384, 65536), repetitions=3)
+
+
+@dataclass(frozen=True)
+class ParameterAblationConfig:
+    """Configuration of the fast-gossiping parameter ablation (E9)."""
+
+    size: int = 1024
+    walk_probability_factors: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+    broadcast_steps_factors: Tuple[float, ...] = (0.25, 0.5, 1.0)
+    repetitions: int = 3
+    seed: Optional[int] = 20150530
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "ParameterAblationConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ParameterAblationConfig":
+        """Larger graph (slower)."""
+        return cls(size=8192)
+
+
+@dataclass(frozen=True)
+class LeaderElectionConfig:
+    """Configuration of the leader-election cost experiment (E10)."""
+
+    sizes: Tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+    repetitions: int = 3
+    seed: Optional[int] = 20150531
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "LeaderElectionConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "LeaderElectionConfig":
+        """Larger sizes (slower)."""
+        return cls(sizes=(1024, 4096, 16384), repetitions=5)

@@ -1,0 +1,73 @@
+"""Experiment E4 — Figure 3: robustness at two additional graph sizes.
+
+Figure 3 of the paper repeats the Figure 2 robustness study on graphs of
+100,000 and 500,000 nodes, confirming that the loss-ratio curve has the same
+shape across scales.  The reproduction runs the identical sweep on two
+(smaller) sizes and reports the same ratio series per size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from .config import RobustnessConfig
+from .figure2 import FIGURE2_COLUMNS, robustness_configurations
+from .runner import ExperimentResult, aggregate_records, robustness_task, run_gossip_sweep
+
+__all__ = ["run_figure3", "FIGURE3_COLUMNS", "default_figure3_sizes"]
+
+FIGURE3_COLUMNS = FIGURE2_COLUMNS
+
+
+def default_figure3_sizes() -> Tuple[int, int]:
+    """Two graph sizes mirroring the paper's 10^5 / 5*10^5 pair (scaled down)."""
+    return (1024, 2048)
+
+
+def run_figure3(
+    config: Optional[RobustnessConfig] = None,
+    *,
+    sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 3 (robustness ratio vs F at two graph sizes)."""
+    base = config or RobustnessConfig.quick()
+    sizes = tuple(sizes) if sizes is not None else default_figure3_sizes()
+    all_records: List[dict] = []
+    for index, size in enumerate(sizes):
+        per_size = replace(
+            base,
+            size=int(size),
+            seed=None if base.seed is None else base.seed + index,
+        )
+        records = run_gossip_sweep(
+            robustness_configurations(per_size),
+            repetitions=per_size.repetitions,
+            seed=per_size.seed,
+            n_jobs=per_size.n_jobs,
+            task=robustness_task,
+        )
+        all_records.extend(records)
+    rows = aggregate_records(
+        all_records,
+        group_by=("n", "failed"),
+        metrics=("additional_lost", "loss_ratio"),
+    )
+    for row in rows:
+        row["failed_fraction"] = row["failed"] / row["n"]
+    return ExperimentResult(
+        name="figure3",
+        description=(
+            "Figure 3: robustness ratio (additional lost messages / F) vs F at "
+            "two graph sizes"
+        ),
+        rows=rows,
+        raw_records=all_records,
+        metadata={
+            "sizes": list(sizes),
+            "num_trees": base.num_trees,
+            "failed_fractions": list(base.failed_fractions),
+            "repetitions": base.repetitions,
+            "seed": base.seed,
+        },
+    )

@@ -1,0 +1,119 @@
+"""Combined reproduction report builder.
+
+Collects several :class:`~repro.experiments.runner.ExperimentResult` objects
+into one Markdown document: per experiment a short description, the aggregated
+rows as a Markdown table, an optional ASCII plot, and the sweep metadata.  The
+``scripts/generate_results.py`` helper uses it to leave a single human-readable
+`results/REPORT.md` next to the raw JSON/CSV rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..io.results import save_json, to_jsonable
+from ..io.tables import format_value
+from .runner import ExperimentResult
+
+__all__ = ["markdown_table", "experiment_section", "build_report", "write_report"]
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_digits: int = 3,
+) -> str:
+    """Render record dicts as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    separator = "|" + "|".join(" --- " for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(format_value(row.get(c), float_digits) for c in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def experiment_section(
+    result: ExperimentResult,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    plot: Optional[str] = None,
+    notes: str = "",
+) -> str:
+    """One Markdown section for a single experiment result."""
+    lines: List[str] = [f"## {result.name}", "", result.description, ""]
+    lines.append(markdown_table(result.rows, columns))
+    lines.append("")
+    if plot:
+        lines.extend(["```text", plot, "```", ""])
+    if notes:
+        lines.extend([notes, ""])
+    interesting_metadata = {
+        key: value
+        for key, value in result.metadata.items()
+        if isinstance(value, (int, float, str, bool, list, dict)) and key != "seed"
+    }
+    if interesting_metadata:
+        lines.append("<details><summary>configuration</summary>")
+        lines.append("")
+        lines.append("```json")
+        import json
+
+        lines.append(json.dumps(to_jsonable(interesting_metadata), indent=2, sort_keys=True))
+        lines.append("```")
+        lines.append("</details>")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: Sequence[ExperimentResult],
+    *,
+    title: str = "Reproduction report",
+    preamble: str = "",
+    columns: Optional[Mapping[str, Sequence[str]]] = None,
+    plots: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Assemble the full Markdown report from experiment results.
+
+    Parameters
+    ----------
+    results:
+        Experiment results in the order they should appear.
+    title / preamble:
+        Document heading and optional introduction paragraph.
+    columns:
+        Optional per-experiment column selections, keyed by experiment name.
+    plots:
+        Optional per-experiment pre-rendered ASCII plots, keyed by name.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    if preamble:
+        lines.extend([preamble, ""])
+    for result in results:
+        lines.append(
+            experiment_section(
+                result,
+                columns=(columns or {}).get(result.name),
+                plot=(plots or {}).get(result.name),
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Sequence[ExperimentResult],
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Build the report and write it to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(results, **kwargs))
+    return path

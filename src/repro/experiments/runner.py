@@ -1,0 +1,253 @@
+"""Shared machinery of the experiment harness.
+
+Every experiment (one per paper table/figure plus the extensions) is expressed
+as a sweep over (configuration, repetition) pairs.  This module provides:
+
+* a protocol factory mapping protocol names to configured protocol objects,
+* the picklable task function executed for each pair (so sweeps can run on a
+  process pool), and
+* :class:`ExperimentResult`, the uniform result container with helpers for
+  aggregation, rendering and persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis.statistics import summarize
+from ..analysis.sweep import SweepTask, expand_grid, run_sweep
+from ..core.fast_gossiping import FastGossiping
+from ..core.memory_gossiping import MemoryGossiping
+from ..core.parameters import (
+    FastGossipingParameters,
+    MemoryGossipingParameters,
+    PushPullParameters,
+    tuned_fast_gossiping,
+    tuned_memory_gossiping,
+)
+from ..core.push_pull import PushPullGossip
+from ..engine.failures import NO_FAILURES, sample_uniform_failures
+from ..engine.metrics import MessageAccounting
+from ..graphs.generators import GraphSpec, make_graph
+from ..io.results import save_csv, save_json
+from ..io.tables import format_records
+
+__all__ = [
+    "PROTOCOL_NAMES",
+    "make_protocol",
+    "gossip_task",
+    "robustness_task",
+    "ExperimentResult",
+    "aggregate_records",
+    "run_gossip_sweep",
+]
+
+#: Names of the gossiping protocols compared in the paper's Figure 1.
+PROTOCOL_NAMES = ("push-pull", "fast-gossiping", "memory")
+
+
+def make_protocol(
+    name: str,
+    *,
+    protocol_options: Optional[Mapping[str, Any]] = None,
+):
+    """Instantiate a gossiping protocol by name.
+
+    Parameters
+    ----------
+    name:
+        ``"push-pull"``, ``"fast-gossiping"`` or ``"memory"``.
+    protocol_options:
+        Keyword overrides for the protocol's parameter dataclass
+        (e.g. ``{"walk_probability_factor": 2.0}`` for fast-gossiping, or
+        ``{"num_trees": 3, "gather_only": True, "leader": 0}`` for memory).
+    """
+    options = dict(protocol_options or {})
+    if name == "push-pull":
+        params = PushPullParameters(**options) if options else PushPullParameters()
+        return PushPullGossip(params)
+    if name == "fast-gossiping":
+        params = tuned_fast_gossiping()
+        if options:
+            params = params.with_overrides(**options)
+        return FastGossiping(params)
+    if name == "memory":
+        leader = options.pop("leader", None)
+        gather_only = bool(options.pop("gather_only", False))
+        elect_leader = bool(options.pop("elect_leader", False))
+        params = tuned_memory_gossiping()
+        if options:
+            params = params.with_overrides(**options)
+        return MemoryGossiping(
+            params, leader=leader, elect_leader=elect_leader, gather_only=gather_only
+        )
+    raise ValueError(f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}")
+
+
+# --------------------------------------------------------------------------- #
+# Task functions (module level so they are picklable for process pools)
+# --------------------------------------------------------------------------- #
+def gossip_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one gossiping protocol once; used by the size/density sweeps.
+
+    Expected task params: ``graph_spec`` (dict), ``protocol`` (name),
+    optional ``protocol_options`` (dict).
+    """
+    params = task.params
+    spec = GraphSpec.from_dict(params["graph_spec"])
+    graph = make_graph(spec, rng=task.seed)
+    protocol = make_protocol(
+        params["protocol"], protocol_options=params.get("protocol_options")
+    )
+    result = protocol.run(graph, rng=task.seed + 1)
+    return {
+        "n": spec.n,
+        "graph": spec.describe(),
+        "mean_degree": graph.mean_degree(),
+        "protocol": params["protocol"],
+        "completed": result.completed,
+        "rounds": result.rounds,
+        "messages_per_node": result.messages_per_node(MessageAccounting.PACKETS),
+        "opens_per_node": result.messages_per_node(MessageAccounting.OPENS),
+        "strict_cost_per_node": result.messages_per_node(
+            MessageAccounting.OPENS_AND_PACKETS
+        ),
+    }
+
+
+def robustness_task(task: SweepTask) -> Dict[str, Any]:
+    """Run the memory model with crash failures before Phase II.
+
+    Expected task params: ``graph_spec`` (dict), ``failed`` (int, number of
+    failed nodes), ``num_trees`` (int), optional ``leader`` (int).
+    """
+    params = task.params
+    spec = GraphSpec.from_dict(params["graph_spec"])
+    graph = make_graph(spec, rng=task.seed)
+    leader = int(params.get("leader", 0))
+    failed_count = int(params["failed"])
+    protocol = make_protocol(
+        "memory",
+        protocol_options={
+            "num_trees": int(params.get("num_trees", 3)),
+            "leader": leader,
+            "gather_only": True,
+        },
+    )
+    failures = (
+        sample_uniform_failures(
+            spec.n, failed_count, rng=task.seed + 7, protect=[leader]
+        )
+        if failed_count
+        else NO_FAILURES
+    )
+    result = protocol.run(graph, rng=task.seed + 1, failures=failures)
+    lost = int(result.extras["lost_messages"])
+    return {
+        "n": spec.n,
+        "failed": failed_count,
+        "num_trees": int(params.get("num_trees", 3)),
+        "additional_lost": lost,
+        "loss_ratio": (lost / failed_count) if failed_count else 0.0,
+        "messages_per_node": result.messages_per_node(MessageAccounting.PACKETS),
+        "rounds": result.rounds,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Result container and aggregation
+# --------------------------------------------------------------------------- #
+@dataclass
+class ExperimentResult:
+    """Uniform container for experiment outputs.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"figure1"``).
+    description:
+        One-line description of what is reproduced.
+    rows:
+        Aggregated rows (one per plotted point / table row).
+    raw_records:
+        Per-run records before aggregation.
+    metadata:
+        Sweep settings (sizes, repetitions, seed, ...).
+    """
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    raw_records: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_table(self, columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+        """Render the aggregated rows as a text table."""
+        if not self.rows:
+            return f"{self.name}: no rows"
+        if columns is None:
+            columns = list(self.rows[0].keys())
+        return format_records(self.rows, columns, title=title or self.description)
+
+    def save(self, directory: Union[str, Path]) -> Dict[str, Path]:
+        """Persist rows and raw records under ``directory``."""
+        directory = Path(directory)
+        paths = {
+            "rows_json": save_json(self.rows, directory / f"{self.name}_rows.json"),
+            "rows_csv": save_csv(self.rows, directory / f"{self.name}_rows.csv"),
+            "metadata": save_json(self.metadata, directory / f"{self.name}_metadata.json"),
+        }
+        if self.raw_records:
+            paths["raw_csv"] = save_csv(self.raw_records, directory / f"{self.name}_raw.csv")
+        return paths
+
+
+def aggregate_records(
+    records: Sequence[Mapping[str, Any]],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> List[Dict[str, Any]]:
+    """Group per-run records and average the named metrics within each group.
+
+    The output row contains the group keys, ``<metric>`` (mean),
+    ``<metric>_std`` and ``repetitions``.
+    """
+    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+    order: List[Tuple] = []
+    for record in records:
+        key = tuple(record[k] for k in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        members = groups[key]
+        row: Dict[str, Any] = {k: v for k, v in zip(group_by, key)}
+        row["repetitions"] = len(members)
+        for metric in metrics:
+            values = [float(m[metric]) for m in members if metric in m and m[metric] is not None]
+            if not values:
+                continue
+            stats = summarize(values)
+            row[metric] = stats.mean
+            row[f"{metric}_std"] = stats.std
+        rows.append(row)
+    return rows
+
+
+def run_gossip_sweep(
+    configurations: Sequence[Tuple[Any, Dict[str, Any]]],
+    *,
+    repetitions: int,
+    seed: Optional[int],
+    n_jobs: int = 1,
+    task=gossip_task,
+) -> List[Dict[str, Any]]:
+    """Expand configurations into tasks and execute them."""
+    tasks = expand_grid(configurations, repetitions, seed)
+    return run_sweep(task, tasks, n_jobs=n_jobs)

@@ -1,0 +1,48 @@
+"""Graph substrate: CSR adjacency, random graph generators and properties."""
+
+from .adjacency import Adjacency
+from .configuration_model import configuration_model, random_regular
+from .deterministic import complete_graph, hypercube
+from .erdos_renyi import erdos_renyi, expected_degree_to_p, paper_edge_probability
+from .generators import (
+    GraphSpec,
+    make_graph,
+    paper_expected_degree,
+    paper_graph_spec,
+)
+from .power_law import power_law_degree_sequence, power_law_graph
+from .properties import (
+    DegreeStatistics,
+    GraphProfile,
+    average_distance_sample,
+    degree_statistics,
+    estimate_conductance,
+    estimate_diameter,
+    profile_graph,
+    spectral_gap,
+)
+
+__all__ = [
+    "Adjacency",
+    "configuration_model",
+    "random_regular",
+    "complete_graph",
+    "hypercube",
+    "erdos_renyi",
+    "expected_degree_to_p",
+    "paper_edge_probability",
+    "GraphSpec",
+    "make_graph",
+    "paper_expected_degree",
+    "paper_graph_spec",
+    "power_law_degree_sequence",
+    "power_law_graph",
+    "DegreeStatistics",
+    "GraphProfile",
+    "average_distance_sample",
+    "degree_statistics",
+    "estimate_conductance",
+    "estimate_diameter",
+    "profile_graph",
+    "spectral_gap",
+]

@@ -1,0 +1,274 @@
+"""Compressed sparse row adjacency structure used by all simulations.
+
+The protocols in this library only need three graph operations, all of which
+must be fast and allocation-light because they sit in the per-round hot loop:
+
+* uniformly sampling a random neighbour for *every* node at once,
+* sampling a few distinct neighbours of a single node while avoiding a short
+  list of addresses (the memory model's ``open-avoid`` operation), and
+* iterating neighbours of a node (for structural analysis and BFS).
+
+:class:`Adjacency` stores the graph in CSR form (``indptr``/``indices``) with
+sorted neighbour lists, which supports all three with NumPy vectorisation and
+binary search.  Graphs are undirected and simple (no self-loops, no parallel
+edges); generators that naturally produce multi-edges (the configuration
+model) deduplicate before constructing an :class:`Adjacency`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Adjacency"]
+
+
+class Adjacency:
+    """Immutable undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        CSR row pointer of length ``n + 1``.
+    indices:
+        Concatenated, per-row sorted neighbour lists.
+
+    Use the :meth:`from_edges`, :meth:`from_neighbor_lists` or
+    :meth:`from_networkx` constructors rather than building the arrays by
+    hand.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("inconsistent CSR structure")
+        self.n = int(self.indptr.size - 1)
+        self.degrees = np.diff(self.indptr)
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise ValueError("neighbour index out of range")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, n: int, edges: np.ndarray) -> "Adjacency":
+        """Build from an ``(m, 2)`` array of undirected edges.
+
+        Self-loops and duplicate edges are removed.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= n:
+                raise ValueError("edge endpoint out of range")
+            # Drop self loops.
+            edges = edges[edges[:, 0] != edges[:, 1]]
+            # Canonical order + dedup.
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            keys = lo * np.int64(n) + hi
+            _, unique_idx = np.unique(keys, return_index=True)
+            edges = np.column_stack([lo[unique_idx], hi[unique_idx]])
+        # Symmetrise.
+        if edges.size:
+            src = np.concatenate([edges[:, 0], edges[:, 1]])
+            dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        else:
+            src = np.zeros(0, dtype=np.int64)
+            dst = np.zeros(0, dtype=np.int64)
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst)
+
+    @classmethod
+    def from_neighbor_lists(cls, neighbor_lists: Sequence[Sequence[int]]) -> "Adjacency":
+        """Build from a list of per-node neighbour lists (must be symmetric)."""
+        n = len(neighbor_lists)
+        edges: List[Tuple[int, int]] = []
+        for u, nbrs in enumerate(neighbor_lists):
+            for v in nbrs:
+                edges.append((u, int(v)))
+        if not edges:
+            return cls(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        arr = np.asarray(edges, dtype=np.int64)
+        return cls.from_edges(n, arr)
+
+    @classmethod
+    def from_networkx(cls, graph) -> "Adjacency":
+        """Build from a :class:`networkx.Graph` with integer-labelled nodes."""
+        import networkx as nx  # local import: optional dependency path
+
+        mapping = {node: i for i, node in enumerate(sorted(graph.nodes()))}
+        edges = np.asarray(
+            [(mapping[u], mapping[v]) for u, v in graph.edges()], dtype=np.int64
+        )
+        return cls.from_edges(graph.number_of_nodes(), edges)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (mainly for analysis/tests)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edge_list())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.size // 2)
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return int(self.degrees[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour array of ``node`` (a view, do not mutate)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def edge_list(self) -> np.ndarray:
+        """``(m, 2)`` array of undirected edges with ``u < v``."""
+        src = np.repeat(np.arange(self.n), self.degrees)
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    def min_degree(self) -> int:
+        """Minimum degree over all nodes."""
+        return int(self.degrees.min()) if self.n else 0
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes."""
+        return int(self.degrees.max()) if self.n else 0
+
+    def mean_degree(self) -> float:
+        """Average degree over all nodes."""
+        return float(self.degrees.mean()) if self.n else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Random neighbour sampling (hot path)
+    # ------------------------------------------------------------------ #
+    def sample_neighbors(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample one uniformly random neighbour for each entry of ``nodes``.
+
+        Nodes of degree zero receive ``-1``.  Repeated node entries get
+        independent samples, matching the random phone call model where every
+        node opens its channel independently each step.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        deg = self.degrees[nodes]
+        result = np.full(nodes.size, -1, dtype=np.int64)
+        ok = deg > 0
+        if np.any(ok):
+            offsets = (rng.random(int(ok.sum())) * deg[ok]).astype(np.int64)
+            result[ok] = self.indices[self.indptr[nodes[ok]] + offsets]
+        return result
+
+    def sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        """Sample one uniformly random neighbour of a single node (-1 if isolated)."""
+        return int(self.sample_neighbors(np.asarray([node]), rng)[0])
+
+    def sample_neighbors_avoiding(
+        self,
+        node: int,
+        rng: np.random.Generator,
+        avoid: Optional[Iterable[int]] = None,
+        count: int = 1,
+        distinct: bool = True,
+    ) -> np.ndarray:
+        """Sample neighbours of ``node`` avoiding the addresses in ``avoid``.
+
+        This implements the memory model's ``open-avoid`` operation: choose a
+        neighbour uniformly at random from ``N(node) \\ avoid``.  When fewer
+        eligible neighbours than ``count`` exist the returned array is shorter
+        (possibly empty).
+
+        Parameters
+        ----------
+        node:
+            The calling node.
+        rng:
+            Randomness source.
+        avoid:
+            Addresses that must not be chosen (e.g. the node's memory list).
+        count:
+            Number of samples requested.
+        distinct:
+            When true (default) the samples are distinct neighbours.
+        """
+        nbrs = self.neighbors(node)
+        if avoid is not None:
+            avoid_arr = np.asarray(sorted(set(int(a) for a in avoid)), dtype=np.int64)
+            if avoid_arr.size:
+                nbrs = nbrs[~np.isin(nbrs, avoid_arr, assume_unique=False)]
+        if nbrs.size == 0 or count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        if distinct:
+            k = min(count, int(nbrs.size))
+            picked = rng.choice(nbrs, size=k, replace=False)
+        else:
+            picked = rng.choice(nbrs, size=count, replace=True)
+        return np.asarray(picked, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def bfs_distances(self, source: int, cutoff: Optional[int] = None) -> np.ndarray:
+        """Breadth-first distances from ``source`` (-1 for unreachable).
+
+        ``cutoff`` optionally limits the search radius.
+        """
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.asarray([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            if cutoff is not None and level >= cutoff:
+                break
+            nxt: List[np.ndarray] = []
+            for u in frontier.tolist():
+                nbrs = self.neighbors(u)
+                fresh = nbrs[dist[nbrs] < 0]
+                if fresh.size:
+                    dist[fresh] = level + 1
+                    nxt.append(fresh)
+            frontier = np.concatenate(nxt) if nxt else np.zeros(0, dtype=np.int64)
+            level += 1
+        return dist
+
+    def connected_component(self, source: int) -> np.ndarray:
+        """Node identifiers of the component containing ``source``."""
+        dist = self.bfs_distances(source)
+        return np.flatnonzero(dist >= 0)
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
+        if self.n <= 1:
+            return True
+        return self.connected_component(0).size == self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Adjacency(n={self.n}, m={self.num_edges}, mean_degree={self.mean_degree():.2f})"

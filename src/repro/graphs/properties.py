@@ -1,0 +1,246 @@
+"""Structural graph properties relevant to the paper's assumptions.
+
+The analysis in the paper relies on structural features of dense random
+graphs: degree concentration around the expectation, connectivity, good
+expansion (spectral gap / conductance), short distances and the local
+pseudo-tree structure of sparse neighbourhoods.  This module computes or
+estimates these quantities so that experiments can verify the assumptions on
+the sampled instances and so that the examples can illustrate *why* the
+protocols behave as they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine.rng import RandomState, make_rng
+from .adjacency import Adjacency
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "spectral_gap",
+    "estimate_conductance",
+    "estimate_diameter",
+    "average_distance_sample",
+    "GraphProfile",
+    "profile_graph",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary statistics of the degree sequence."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    std: float
+
+    @property
+    def concentration(self) -> float:
+        """Relative spread ``(max - min) / mean`` (0 for regular graphs)."""
+        if self.mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.mean
+
+
+def degree_statistics(graph: Adjacency) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for ``graph``."""
+    degrees = graph.degrees
+    if degrees.size == 0:
+        return DegreeStatistics(0, 0, 0.0, 0.0)
+    return DegreeStatistics(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        std=float(degrees.std()),
+    )
+
+
+def _normalized_adjacency(graph: Adjacency):
+    """Symmetrically normalised adjacency matrix ``D^{-1/2} A D^{-1/2}``."""
+    import scipy.sparse as sp
+
+    n = graph.n
+    degrees = np.maximum(graph.degrees.astype(np.float64), 1.0)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    rows = np.repeat(np.arange(n), graph.degrees)
+    cols = graph.indices
+    vals = inv_sqrt[rows] * inv_sqrt[cols]
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def spectral_gap(graph: Adjacency, *, k: int = 2) -> float:
+    """Spectral gap ``1 - lambda_2`` of the normalised adjacency matrix.
+
+    A large gap certifies rapid mixing of the random walks used in Phase II of
+    Algorithm 1 (the paper notes the eigenvalues of the transition matrix of
+    these graphs are inverse polynomial in ``d``).  Uses sparse Lanczos
+    iteration; intended for graphs up to a few tens of thousands of nodes.
+    """
+    import scipy.sparse.linalg as spla
+
+    if graph.n < 3:
+        return 1.0
+    matrix = _normalized_adjacency(graph)
+    k_eff = min(max(2, k), graph.n - 1)
+    vals = spla.eigsh(matrix, k=k_eff, which="LA", return_eigenvectors=False)
+    vals = np.sort(vals)[::-1]
+    return float(1.0 - vals[1])
+
+
+def estimate_conductance(
+    graph: Adjacency,
+    *,
+    samples: int = 50,
+    rng: RandomState = None,
+) -> float:
+    """Estimate the conductance by sweeping random BFS-ball and random cuts.
+
+    Exact conductance is NP-hard; the estimate returned here is an *upper
+    bound*: the smallest conductance found over a collection of candidate cuts
+    (BFS balls around random seeds and random bisections).  For expander-like
+    random graphs the bound is well away from zero, which is all the
+    experiments need to verify.
+    """
+    if graph.n < 4 or graph.num_edges == 0:
+        return 1.0
+    generator = make_rng(rng)
+    volume_total = float(graph.degrees.sum())
+    best = 1.0
+
+    def cut_conductance(mask: np.ndarray) -> float:
+        size = int(mask.sum())
+        if size == 0 or size == graph.n:
+            return 1.0
+        volume = float(graph.degrees[mask].sum())
+        volume = min(volume, volume_total - volume)
+        if volume == 0:
+            return 1.0
+        src = np.repeat(np.arange(graph.n), graph.degrees)
+        crossing = np.count_nonzero(mask[src] != mask[graph.indices]) / 2.0
+        return crossing / volume
+
+    for _ in range(max(1, samples)):
+        seed = int(generator.integers(graph.n))
+        dist = graph.bfs_distances(seed)
+        reachable = dist >= 0
+        radius = int(dist[reachable].max()) if np.any(reachable) else 0
+        if radius >= 1:
+            r = int(generator.integers(1, radius + 1))
+            mask = (dist >= 0) & (dist <= r)
+            best = min(best, cut_conductance(mask))
+        # Random bisection candidate.
+        mask = generator.random(graph.n) < 0.5
+        best = min(best, cut_conductance(mask))
+    return float(best)
+
+
+def estimate_diameter(
+    graph: Adjacency, *, samples: int = 10, rng: RandomState = None
+) -> int:
+    """Estimate the diameter as the largest eccentricity over sampled sources.
+
+    This is a lower bound on the true diameter; for random graphs with degree
+    ``log^2 n`` the diameter is ``Theta(log n / log log n)`` and a handful of
+    BFS sweeps recovers it reliably.
+    """
+    if graph.n <= 1:
+        return 0
+    generator = make_rng(rng)
+    sources = generator.choice(graph.n, size=min(samples, graph.n), replace=False)
+    best = 0
+    for source in sources.tolist():
+        dist = graph.bfs_distances(int(source))
+        reachable = dist[dist >= 0]
+        if reachable.size:
+            best = max(best, int(reachable.max()))
+    return best
+
+
+def average_distance_sample(
+    graph: Adjacency, *, samples: int = 10, rng: RandomState = None
+) -> float:
+    """Average shortest-path distance estimated from sampled BFS sources."""
+    if graph.n <= 1:
+        return 0.0
+    generator = make_rng(rng)
+    sources = generator.choice(graph.n, size=min(samples, graph.n), replace=False)
+    total = 0.0
+    count = 0
+    for source in sources.tolist():
+        dist = graph.bfs_distances(int(source))
+        reachable = dist[dist > 0]
+        total += float(reachable.sum())
+        count += int(reachable.size)
+    return total / count if count else float("inf")
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """A bundle of structural properties of a sampled graph."""
+
+    n: int
+    num_edges: int
+    degrees: DegreeStatistics
+    connected: bool
+    diameter_estimate: int
+    average_distance: float
+    spectral_gap: Optional[float]
+    conductance_estimate: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reporting."""
+        return {
+            "n": self.n,
+            "num_edges": self.num_edges,
+            "min_degree": self.degrees.minimum,
+            "max_degree": self.degrees.maximum,
+            "mean_degree": self.degrees.mean,
+            "degree_std": self.degrees.std,
+            "connected": self.connected,
+            "diameter_estimate": self.diameter_estimate,
+            "average_distance": self.average_distance,
+            "spectral_gap": self.spectral_gap,
+            "conductance_estimate": self.conductance_estimate,
+        }
+
+
+def profile_graph(
+    graph: Adjacency,
+    *,
+    rng: RandomState = None,
+    spectral: bool = True,
+    conductance_samples: int = 20,
+    distance_samples: int = 8,
+) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for ``graph``.
+
+    ``spectral`` may be disabled for very large graphs where the Lanczos
+    iteration becomes the dominant cost.
+    """
+    generator = make_rng(rng)
+    gap: Optional[float] = None
+    if spectral and graph.n >= 3 and graph.num_edges > 0:
+        gap = spectral_gap(graph)
+    conductance: Optional[float] = None
+    if graph.num_edges > 0:
+        conductance = estimate_conductance(
+            graph, samples=conductance_samples, rng=generator
+        )
+    return GraphProfile(
+        n=graph.n,
+        num_edges=graph.num_edges,
+        degrees=degree_statistics(graph),
+        connected=graph.is_connected(),
+        diameter_estimate=estimate_diameter(graph, samples=distance_samples, rng=generator),
+        average_distance=average_distance_sample(
+            graph, samples=distance_samples, rng=generator
+        ),
+        spectral_gap=gap,
+        conductance_estimate=conductance,
+    )

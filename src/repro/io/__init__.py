@@ -1,0 +1,15 @@
+"""Result persistence (JSON/CSV) and plain-text table rendering."""
+
+from .results import load_csv, load_json, save_csv, save_json, to_jsonable
+from .tables import format_records, format_table, format_value
+
+__all__ = [
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+    "to_jsonable",
+    "format_records",
+    "format_table",
+    "format_value",
+]

@@ -1,0 +1,91 @@
+"""Persistence of experiment results as JSON and CSV.
+
+Experiment results are lists of flat record dictionaries (one per run or per
+aggregated configuration).  Saving them next to the benchmark output makes the
+reproduction auditable: EXPERIMENTS.md references the same numbers the harness
+wrote to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json", "save_csv", "load_csv"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays and nested containers to JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Fall back to the string representation for exotic objects (e.g. trees).
+    return str(value)
+
+
+def save_json(records: Any, path: Union[str, Path]) -> Path:
+    """Write ``records`` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(records), indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_csv(
+    records: Sequence[Mapping[str, Any]],
+    path: Union[str, Path],
+    *,
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write record dicts to ``path`` as CSV.
+
+    Parameters
+    ----------
+    records:
+        Flat record dictionaries.
+    path:
+        Output file path (parent directories are created).
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: to_jsonable(record.get(k)) for k in columns})
+    return path
+
+
+def load_csv(path: Union[str, Path]) -> List[Dict[str, str]]:
+    """Load a CSV written by :func:`save_csv` (values come back as strings)."""
+    with Path(path).open() as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

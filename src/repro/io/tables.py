@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print the rows/series that the paper reports as
+figures; a small fixed-width renderer keeps those reports readable in a
+terminal and in the captured benchmark output files without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "format_table", "format_records"]
+
+
+def format_value(value: Any, float_digits: int = 3) -> str:
+    """Render a cell value compactly."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.2e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render ``rows`` as a fixed-width text table."""
+    rendered = [[format_value(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render record dicts as a table using the given column order."""
+    rows = [[record.get(column) for column in columns] for record in records]
+    return format_table(columns, rows, title=title, float_digits=float_digits)

@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.ascii_plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import AsciiPlot, plot_experiment_rows, plot_series
+
+
+class TestAsciiPlot:
+    def test_basic_render_contains_markers_and_legend(self):
+        plot = AsciiPlot(width=40, height=10, title="demo", x_label="n", y_label="cost")
+        plot.add_series("a", [1, 2, 3], [1.0, 2.0, 3.0])
+        plot.add_series("b", [1, 2, 3], [3.0, 2.0, 1.0])
+        text = plot.render()
+        assert "demo" in text
+        assert "legend: * a  o b" in text
+        assert "*" in text and "o" in text
+        assert "[x: n]" in text
+        assert "[y: cost]" in text
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot().render()
+
+    def test_mismatched_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("a", [1, 2], [1.0])
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot(width=5, height=2)
+
+    def test_too_many_series_rejected(self):
+        plot = AsciiPlot()
+        for index in range(8):
+            plot.add_series(f"s{index}", [1], [1.0])
+        with pytest.raises(ValueError):
+            plot.add_series("overflow", [1], [1.0])
+
+    def test_constant_series_does_not_crash(self):
+        plot = AsciiPlot(width=20, height=6)
+        plot.add_series("flat", [1, 2, 3], [5.0, 5.0, 5.0])
+        text = plot.render()
+        assert "flat" in text
+
+    def test_log_x_axis_labels(self):
+        plot = AsciiPlot(width=30, height=8, log_x=True, x_label="n")
+        plot.add_series("a", [256, 1024, 4096], [1.0, 2.0, 3.0])
+        text = plot.render()
+        assert "(log scale)" in text
+        assert "256" in text
+        assert "4.1e+03" in text or "4.10e+03" in text or "4096" in text
+
+    def test_row_column_extremes_plotted(self):
+        plot = AsciiPlot(width=10, height=4)
+        plot.add_series("a", [0, 1], [0.0, 1.0])
+        lines = plot.render().splitlines()
+        canvas_lines = [line for line in lines if "|" in line]
+        assert canvas_lines[0].rstrip().endswith("*")  # max y at top-right
+        assert "*" in canvas_lines[-1]  # min y at bottom
+
+
+class TestHelpers:
+    def test_plot_series_mapping(self):
+        text = plot_series({"a": [(1, 1.0), (2, 2.0)]}, width=20, height=5, title="t")
+        assert "t" in text and "a" in text
+
+    def test_plot_experiment_rows_groups(self):
+        rows = [
+            {"n": 256, "protocol": "push-pull", "messages_per_node": 18.0},
+            {"n": 512, "protocol": "push-pull", "messages_per_node": 20.0},
+            {"n": 256, "protocol": "memory", "messages_per_node": 4.4},
+            {"n": 512, "protocol": "memory", "messages_per_node": 5.9},
+        ]
+        text = plot_experiment_rows(
+            rows, x="n", y="messages_per_node", group_by="protocol", title="fig1"
+        )
+        assert "push-pull" in text and "memory" in text
+        assert "fig1" in text
+
+    def test_plot_experiment_rows_single_series(self):
+        rows = [{"n": 256, "v": 1.0}, {"n": 512, "v": 2.0}]
+        text = plot_experiment_rows(rows, x="n", y="v", group_by=None, log_x=False)
+        assert "legend: * v" in text

@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.bounds (theoretical reference curves)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    broadcast_messages_per_node_complete,
+    fast_gossiping_messages_per_node,
+    fast_gossiping_rounds,
+    fit_constant,
+    gossip_lower_bound_messages,
+    leader_election_messages_per_node,
+    memory_gossiping_messages_per_node,
+    memory_gossiping_rounds,
+    push_pull_gossip_messages_per_node,
+    push_pull_gossip_rounds,
+    shape_correlation,
+)
+
+
+class TestBoundShapes:
+    def test_push_pull_is_logarithmic(self):
+        assert push_pull_gossip_rounds(2**10) == pytest.approx(10.0)
+        assert push_pull_gossip_messages_per_node(2**20, 2.0) == pytest.approx(40.0)
+
+    def test_fast_gossiping_below_push_pull_for_large_n(self):
+        for n in (2**12, 2**20, 10**6):
+            assert fast_gossiping_messages_per_node(n) < push_pull_gossip_messages_per_node(n)
+
+    def test_fast_gossiping_rounds_above_push_pull(self):
+        for n in (2**12, 2**20):
+            assert fast_gossiping_rounds(n) > push_pull_gossip_rounds(n)
+
+    def test_memory_constant(self):
+        assert memory_gossiping_messages_per_node(10**3, 5.0) == 5.0
+        assert memory_gossiping_messages_per_node(10**6, 5.0) == 5.0
+        assert memory_gossiping_rounds(2**10) == pytest.approx(10.0)
+
+    def test_loglog_bounds(self):
+        assert leader_election_messages_per_node(2**16) == pytest.approx(4.0)
+        assert broadcast_messages_per_node_complete(2**16, 2.0) == pytest.approx(8.0)
+
+    def test_lower_bound_monotone(self):
+        values = [gossip_lower_bound_messages(n) for n in (10**3, 10**4, 10**5)]
+        assert values == sorted(values)
+
+    def test_guarded_small_inputs(self):
+        for bound in (
+            push_pull_gossip_rounds,
+            fast_gossiping_rounds,
+            fast_gossiping_messages_per_node,
+            memory_gossiping_rounds,
+        ):
+            assert bound(1) > 0
+
+
+class TestFitting:
+    def test_fit_constant_exact(self):
+        sizes = [2**8, 2**10, 2**12, 2**16]
+        measured = [3.0 * math.log2(n) for n in sizes]
+        c = fit_constant(sizes, measured, push_pull_gossip_messages_per_node)
+        assert c == pytest.approx(3.0)
+
+    def test_fit_constant_noisy(self):
+        rng = np.random.default_rng(0)
+        sizes = [2**k for k in range(8, 18)]
+        measured = [2.0 * math.log2(n) + rng.normal(0, 0.1) for n in sizes]
+        c = fit_constant(sizes, measured, push_pull_gossip_messages_per_node)
+        assert c == pytest.approx(2.0, abs=0.05)
+
+    def test_fit_constant_validation(self):
+        with pytest.raises(ValueError):
+            fit_constant([], [], push_pull_gossip_rounds)
+        with pytest.raises(ValueError):
+            fit_constant([1, 2], [1.0], push_pull_gossip_rounds)
+
+    def test_shape_correlation_high_for_matching_shape(self):
+        sizes = [2**k for k in range(8, 20)]
+        measured = [5 * math.log2(n) / math.log2(math.log2(n)) for n in sizes]
+        corr = shape_correlation(sizes, measured, fast_gossiping_messages_per_node)
+        assert corr > 0.999
+
+    def test_shape_correlation_nan_for_constant_shape(self):
+        sizes = [2**8, 2**10]
+        corr = shape_correlation(sizes, [1.0, 2.0], memory_gossiping_messages_per_node)
+        assert math.isnan(corr)

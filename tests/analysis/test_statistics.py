@@ -1,0 +1,70 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SampleStatistics, summarize, summarize_records, welford
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0 and stats.maximum == 3.0
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.confidence_interval() == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize(np.random.default_rng(0).normal(10, 2, size=50))
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+        assert stats.as_dict()["ci_low"] == pytest.approx(low)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_property_welford_matches_summarize(self, values):
+        direct = summarize(values)
+        streaming = welford(values)
+        assert streaming.count == direct.count
+        assert streaming.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert streaming.std == pytest.approx(direct.std, rel=1e-6, abs=1e-6)
+        assert streaming.minimum == direct.minimum
+        assert streaming.maximum == direct.maximum
+
+    def test_welford_empty_rejected(self):
+        with pytest.raises(ValueError):
+            welford([])
+
+
+class TestSummarizeRecords:
+    def test_selected_keys(self):
+        records = [
+            {"a": 1.0, "b": 2.0, "c": "x"},
+            {"a": 3.0, "b": 4.0, "c": "y"},
+        ]
+        out = summarize_records(records, ["a", "b"])
+        assert out["a"].mean == pytest.approx(2.0)
+        assert out["b"].maximum == 4.0
+
+    def test_missing_keys_skipped(self):
+        out = summarize_records([{"a": 1.0}], ["a", "zzz"])
+        assert "zzz" not in out
+
+    def test_none_values_ignored(self):
+        out = summarize_records([{"a": 1.0}, {"a": None}], ["a"])
+        assert out["a"].count == 1

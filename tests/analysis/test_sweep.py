@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.sweep (parameter sweeps and parallel execution)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.sweep import SweepTask, expand_grid, run_sweep
+
+
+def square_task(task: SweepTask) -> dict:
+    """Module-level task function (picklable for process pools)."""
+    return {"value": task.params["x"] ** 2, "seed_seen": task.seed}
+
+
+class TestExpandGrid:
+    def test_count(self):
+        tasks = expand_grid([("a", {"x": 1}), ("b", {"x": 2})], repetitions=3, base_seed=0)
+        assert len(tasks) == 6
+        assert {t.key for t in tasks} == {"a", "b"}
+        assert {t.repetition for t in tasks} == {0, 1, 2}
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            expand_grid([("a", {})], repetitions=0, base_seed=0)
+
+    def test_seeds_are_distinct_and_deterministic(self):
+        tasks_a = expand_grid([("a", {}), ("b", {})], repetitions=4, base_seed=7)
+        tasks_b = expand_grid([("a", {}), ("b", {})], repetitions=4, base_seed=7)
+        assert [t.seed for t in tasks_a] == [t.seed for t in tasks_b]
+        assert len({t.seed for t in tasks_a}) == len(tasks_a)
+
+    def test_params_copied(self):
+        params = {"x": 1}
+        tasks = expand_grid([("a", params)], repetitions=1, base_seed=0)
+        tasks[0].params["x"] = 99
+        assert params["x"] == 1
+
+
+class TestRunSweep:
+    def test_serial_execution(self):
+        tasks = expand_grid([("a", {"x": 2}), ("b", {"x": 3})], repetitions=2, base_seed=1)
+        records = run_sweep(square_task, tasks, n_jobs=1)
+        assert len(records) == 4
+        assert {r["value"] for r in records} == {4, 9}
+        # Bookkeeping fields injected.
+        assert all("key" in r and "repetition" in r and "seed" in r for r in records)
+
+    def test_order_preserved(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(5)], repetitions=1, base_seed=2)
+        records = run_sweep(square_task, tasks, n_jobs=1)
+        assert [r["key"] for r in records] == list(range(5))
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            run_sweep(square_task, [], n_jobs=0)
+
+    def test_empty_tasks(self):
+        assert run_sweep(square_task, [], n_jobs=1) == []
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs >=2 CPUs")
+    def test_parallel_matches_serial(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(6)], repetitions=2, base_seed=3)
+        serial = run_sweep(square_task, tasks, n_jobs=1)
+        parallel = run_sweep(square_task, tasks, n_jobs=2)
+        assert [r["value"] for r in serial] == [r["value"] for r in parallel]
+        assert [r["seed"] for r in serial] == [r["seed"] for r in parallel]

@@ -1,0 +1,143 @@
+"""Tests for repro.core.fast_gossiping (Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FastGossiping,
+    PushPullGossip,
+    theory_fast_gossiping,
+    tuned_fast_gossiping,
+)
+from repro.engine import MessageAccounting, sample_uniform_failures
+from repro.graphs import complete_graph, hypercube
+
+
+class TestCompletion:
+    def test_completes_on_paper_graph(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=1)
+        assert result.completed
+        assert result.knowledge.is_complete()
+        assert result.protocol == "fast-gossiping"
+
+    def test_completes_on_complete_graph(self, small_complete_graph):
+        result = FastGossiping().run(small_complete_graph, rng=2)
+        assert result.completed
+
+    def test_completes_on_regular_graph(self, small_regular_graph):
+        result = FastGossiping().run(small_regular_graph, rng=3)
+        assert result.completed
+
+    def test_deterministic_given_seed(self, small_paper_graph):
+        a = FastGossiping().run(small_paper_graph, rng=4)
+        b = FastGossiping().run(small_paper_graph, rng=4)
+        assert a.total_messages() == b.total_messages()
+        assert a.rounds == b.rounds
+
+    def test_extras_structure(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=5)
+        assert "schedule" in result.extras
+        assert result.extras["total_walks"] >= 0
+        assert result.extras["schedule"]["n"] == small_paper_graph.n
+
+
+class TestPhaseStructure:
+    def test_all_three_phases_recorded(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=6)
+        assert result.ledger.phases == [
+            "phase1-distribution",
+            "phase2-random-walks",
+            "phase3-broadcast",
+        ]
+
+    def test_phase1_length_matches_schedule(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=7)
+        schedule = tuned_fast_gossiping().resolve(small_paper_graph.n)
+        totals = result.ledger.phase_totals("phase1-distribution")
+        assert totals.rounds == schedule.distribution_steps
+        # Every node pushes once per distribution step.
+        assert totals.push_packets == pytest.approx(
+            small_paper_graph.n * schedule.distribution_steps, rel=0.01
+        )
+
+    def test_phase1_grows_informed_sets(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=8, record_trace=True)
+        phase1 = [r for r in result.trace.records if r.phase == "phase1-distribution"]
+        assert phase1[-1].coverage > phase1[0].coverage
+        # After Phase I every message is known by more than one node w.h.p.
+        assert phase1[-1].mean_known > 2
+
+    def test_trace_coverage_monotone(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=9, record_trace=True)
+        curve = result.trace.coverage_curve()
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+
+
+class TestMessageComplexity:
+    def test_cheaper_than_push_pull(self, medium_paper_graph):
+        """The headline claim of Figure 1 at a fixed size."""
+        fast = FastGossiping().run(medium_paper_graph, rng=10)
+        baseline = PushPullGossip().run(medium_paper_graph, rng=11)
+        assert fast.completed and baseline.completed
+        assert fast.messages_per_node() < baseline.messages_per_node()
+
+    def test_slower_than_push_pull(self, medium_paper_graph):
+        """The price of fewer messages is a longer running time."""
+        fast = FastGossiping().run(medium_paper_graph, rng=12)
+        baseline = PushPullGossip().run(medium_paper_graph, rng=13)
+        assert fast.rounds > baseline.rounds
+
+    def test_rounds_within_theorem_bound(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=14)
+        n = small_paper_graph.n
+        bound = 8 * math.log2(n) ** 2 / math.log2(math.log2(n))
+        assert result.rounds <= bound
+
+    def test_per_node_cost_within_bound(self, small_paper_graph):
+        result = FastGossiping().run(small_paper_graph, rng=15)
+        n = small_paper_graph.n
+        bound = 8 * math.log2(n) / math.log2(math.log2(n))
+        assert result.messages_per_node() <= bound
+
+
+class TestParameters:
+    def test_theory_preset_completes(self, small_paper_graph):
+        result = FastGossiping(theory_fast_gossiping()).run(small_paper_graph, rng=16)
+        assert result.completed
+
+    def test_higher_walk_probability_means_more_walks(self, small_paper_graph):
+        low = FastGossiping(
+            tuned_fast_gossiping().with_overrides(walk_probability_factor=0.5)
+        ).run(small_paper_graph, rng=17)
+        high = FastGossiping(
+            tuned_fast_gossiping().with_overrides(walk_probability_factor=4.0)
+        ).run(small_paper_graph, rng=17)
+        assert high.extras["total_walks"] > low.extras["total_walks"]
+
+    def test_failure_injection_validation(self, small_paper_graph):
+        plan = sample_uniform_failures(small_paper_graph.n, 2, rng=1)
+        with pytest.raises(ValueError):
+            FastGossiping().run(small_paper_graph, failures=plan, rng=18)
+
+    def test_failures_at_start_tolerated(self, small_complete_graph):
+        n = small_complete_graph.n
+        plan = sample_uniform_failures(n, 6, rng=19, inject_at="start")
+        result = FastGossiping().run(small_complete_graph, rng=20, failures=plan)
+        assert result.completed  # completion restricted to alive nodes
+        per_node = result.ledger.per_node(MessageAccounting.OPENS_AND_PACKETS)
+        assert np.all(per_node[plan.failed] == 0)
+
+    def test_small_graph_rejected(self):
+        with pytest.raises(ValueError):
+            FastGossiping().run(complete_graph(1), rng=1)
+
+    def test_works_on_hypercube(self):
+        # Low-degree topology outside the paper's assumptions: the protocol
+        # must still terminate and complete thanks to Phase III.
+        result = FastGossiping().run(hypercube(6), rng=21)
+        assert result.completed

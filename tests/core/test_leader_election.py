@@ -1,0 +1,100 @@
+"""Tests for repro.core.leader_election (Algorithm 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LeaderElection, LeaderElectionParameters
+from repro.engine import MessageAccounting, sample_uniform_failures
+from repro.graphs import complete_graph
+
+
+class TestElection:
+    def test_unique_leader_on_paper_graph(self, small_paper_graph):
+        result = LeaderElection().run(small_paper_graph, rng=1)
+        assert result.unique
+        assert result.leader == int(result.candidates.min())
+
+    def test_unique_leader_on_complete_graph(self, small_complete_graph):
+        result = LeaderElection().run(small_complete_graph, rng=2)
+        assert result.unique
+
+    def test_leader_is_smallest_candidate(self, medium_paper_graph):
+        for seed in range(3):
+            result = LeaderElection().run(medium_paper_graph, rng=seed)
+            assert result.unique
+            assert result.leader == int(result.candidates.min())
+
+    def test_candidate_count_near_expectation(self, medium_paper_graph):
+        n = medium_paper_graph.n
+        result = LeaderElection().run(medium_paper_graph, rng=3)
+        expected = math.log2(n) ** 2
+        assert 0.3 * expected <= result.candidates.size <= 3 * expected
+
+    def test_rounds_match_parameters(self, small_paper_graph):
+        params = LeaderElectionParameters()
+        result = LeaderElection(params).run(small_paper_graph, rng=4)
+        n = small_paper_graph.n
+        assert result.rounds == params.push_steps(n) + params.pull_steps(n)
+
+    def test_deterministic(self, small_paper_graph):
+        a = LeaderElection().run(small_paper_graph, rng=5)
+        b = LeaderElection().run(small_paper_graph, rng=5)
+        assert a.leader == b.leader
+        assert a.ledger.total() == b.ledger.total()
+
+    def test_most_nodes_learn_the_leader(self, small_paper_graph):
+        result = LeaderElection().run(small_paper_graph, rng=6)
+        assert result.aware_of_leader.sum() > 0.9 * small_paper_graph.n
+
+    def test_degenerate_no_candidate_still_elects(self):
+        # Tiny graph where the candidate probability may produce nobody: the
+        # implementation promotes one node so an election always returns.
+        graph = complete_graph(4)
+        params = LeaderElectionParameters(candidate_probability_factor=1e-9)
+        result = LeaderElection(params).run(graph, rng=7)
+        assert result.leaders.size >= 1
+        assert result.candidates.size == 1
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            LeaderElection().run(complete_graph(1), rng=1)
+
+
+class TestCost:
+    def test_pseudocode_cost_scales_with_log_n(self, medium_paper_graph):
+        result = LeaderElection().run(medium_paper_graph, rng=8)
+        n = medium_paper_graph.n
+        per_node = result.messages_per_node()
+        assert per_node <= 4 * math.log2(n)
+        assert per_node >= 1.0
+
+    def test_budgeted_variant_is_cheaper(self, medium_paper_graph):
+        full = LeaderElection().run(medium_paper_graph, rng=9)
+        budgeted = LeaderElection(active_push_limit=3).run(medium_paper_graph, rng=9)
+        assert budgeted.messages_per_node() < full.messages_per_node()
+        assert budgeted.unique
+
+    def test_opens_counted(self, small_paper_graph):
+        result = LeaderElection().run(small_paper_graph, rng=10)
+        assert result.ledger.total(MessageAccounting.OPENS) >= result.ledger.total(
+            MessageAccounting.PUSHES
+        )
+
+
+class TestRobustness:
+    def test_survives_random_failures(self, medium_paper_graph):
+        n = medium_paper_graph.n
+        plan = sample_uniform_failures(n, int(n ** 0.25), rng=11, inject_at="start")
+        result = LeaderElection().run(medium_paper_graph, rng=12, failures=plan)
+        assert result.leaders.size >= 1
+        # No failed node can be the leader.
+        assert not set(result.leaders.tolist()) & set(plan.failed.tolist())
+
+    def test_unsupported_injection_point(self, small_paper_graph):
+        plan = sample_uniform_failures(small_paper_graph.n, 2, rng=1)
+        with pytest.raises(ValueError):
+            LeaderElection().run(small_paper_graph, failures=plan, rng=13)

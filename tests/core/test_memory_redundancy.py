@@ -1,0 +1,77 @@
+"""Tests for the gather-redundancy option of the memory model (E11 ablation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MemoryGossiping, tuned_memory_gossiping
+from repro.engine import sample_uniform_failures
+
+
+class TestGatherContactsValidation:
+    def test_invalid_mode_rejected(self):
+        params = tuned_memory_gossiping().with_overrides(gather_contacts="bogus")
+        with pytest.raises(ValueError):
+            params.resolve(128)
+
+    def test_mode_recorded_in_schedule(self):
+        params = tuned_memory_gossiping().with_overrides(gather_contacts="first")
+        schedule = params.resolve(128)
+        assert schedule.gather_contacts == "first"
+        assert schedule.as_dict()["gather_contacts"] == "first"
+
+    def test_default_is_all(self):
+        assert tuned_memory_gossiping().resolve(128).gather_contacts == "all"
+
+
+class TestFirstContactTree:
+    def test_first_contact_indices_form_spanning_structure(self, small_paper_graph):
+        result = MemoryGossiping(leader=0).run(small_paper_graph, rng=1)
+        tree = result.extras["trees"][0]
+        idx = tree.first_contact_push_indices()
+        children = tree.push_children[idx]
+        # Each child appears at most once (strict tree) and was informed by
+        # exactly that contact.
+        assert len(set(children.tolist())) == children.size
+        for i in idx.tolist():
+            child = tree.push_children[i]
+            assert tree.informed_step[child] == tree.push_steps[i] + 1
+        # Every push-phase-informed node (except the root) has a first contact.
+        push_informed = np.flatnonzero(
+            (tree.informed_step >= 0)
+            & (tree.informed_step <= tree.push_steps.max() + 1)
+        )
+        push_informed = push_informed[push_informed != tree.root]
+        pull_children = set(tree.pull_children.tolist())
+        expected = {int(v) for v in push_informed if int(v) not in pull_children}
+        assert expected <= set(children.tolist())
+
+    def test_first_contact_completes_without_failures(self, small_paper_graph):
+        params = tuned_memory_gossiping().with_overrides(gather_contacts="first")
+        result = MemoryGossiping(params, leader=0).run(small_paper_graph, rng=2)
+        assert result.completed
+        assert result.extras["lost_messages"] == 0
+
+    def test_first_contact_is_cheaper(self, medium_paper_graph):
+        all_mode = MemoryGossiping(leader=0).run(medium_paper_graph, rng=3)
+        first_mode = MemoryGossiping(
+            tuned_memory_gossiping().with_overrides(gather_contacts="first"), leader=0
+        ).run(medium_paper_graph, rng=3)
+        assert first_mode.messages_per_node() < all_mode.messages_per_node()
+        assert first_mode.completed
+
+    def test_first_contact_less_robust_under_heavy_failures(self, medium_paper_graph):
+        n = medium_paper_graph.n
+        plan = sample_uniform_failures(n, n // 3, rng=4, protect=[0])
+        results = {}
+        for mode in ("all", "first"):
+            params = tuned_memory_gossiping().with_overrides(
+                num_trees=2, gather_contacts=mode
+            )
+            protocol = MemoryGossiping(params, leader=0, gather_only=True)
+            results[mode] = protocol.run(medium_paper_graph, rng=5, failures=plan)
+        assert (
+            results["first"].extras["lost_messages"]
+            >= results["all"].extras["lost_messages"]
+        )

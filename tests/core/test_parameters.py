@@ -1,0 +1,162 @@
+"""Tests for repro.core.parameters (Table 1 constants and schedules)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    FastGossipingParameters,
+    LeaderElectionParameters,
+    MemoryGossipingParameters,
+    PushPullParameters,
+    log2,
+    loglog2,
+    table1_rows,
+    theory_fast_gossiping,
+    tuned_fast_gossiping,
+    tuned_memory_gossiping,
+)
+
+
+class TestLogHelpers:
+    def test_log2_matches_math(self):
+        assert log2(1024) == pytest.approx(10.0)
+
+    def test_log2_guarded(self):
+        assert log2(1) == pytest.approx(1.0)
+        assert log2(0) == pytest.approx(1.0)
+
+    def test_loglog2(self):
+        assert loglog2(2**16) == pytest.approx(4.0)
+        assert loglog2(2) >= 1.0
+
+
+class TestFastGossipingSchedule:
+    def test_tuned_matches_table1_formulas(self):
+        """Resolved values follow Table 1: ceil(1.2 loglog n), ceil(log n/loglog n), ..."""
+        n = 2**20
+        schedule = tuned_fast_gossiping().resolve(n)
+        ln, lln = 20.0, math.log2(20.0)
+        assert schedule.distribution_steps == math.ceil(1.2 * lln)
+        assert schedule.rounds == math.ceil(ln / lln)
+        assert schedule.walk_probability == pytest.approx(1.0 / ln)
+        assert schedule.walk_steps == math.ceil(ln / lln + 2)
+        assert schedule.broadcast_steps == math.ceil(0.5 * lln)
+
+    def test_theory_preset_is_larger(self):
+        n = 2**16
+        tuned = tuned_fast_gossiping().resolve(n)
+        theory = theory_fast_gossiping().resolve(n)
+        assert theory.distribution_steps > tuned.distribution_steps
+        assert theory.rounds > tuned.rounds
+
+    def test_schedule_monotone_in_n(self):
+        params = tuned_fast_gossiping()
+        small = params.resolve(2**10)
+        large = params.resolve(2**20)
+        assert large.rounds >= small.rounds
+        assert large.walk_probability <= small.walk_probability
+
+    def test_all_fields_positive(self):
+        for n in (16, 256, 4096, 10**6):
+            schedule = tuned_fast_gossiping().resolve(n)
+            data = schedule.as_dict()
+            for key, value in data.items():
+                if key == "n":
+                    continue
+                assert value > 0, key
+
+    def test_with_overrides(self):
+        params = tuned_fast_gossiping().with_overrides(walk_probability_factor=3.0)
+        assert params.walk_probability_factor == 3.0
+        assert tuned_fast_gossiping().walk_probability_factor == 1.0
+
+    def test_walk_probability_capped_at_one(self):
+        params = FastGossipingParameters(walk_probability_factor=100.0)
+        assert params.resolve(16).walk_probability == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=4, max_value=10**7))
+    def test_property_schedule_valid_for_all_n(self, n):
+        schedule = tuned_fast_gossiping().resolve(n)
+        assert schedule.distribution_steps >= 1
+        assert schedule.rounds >= 1
+        assert 0 < schedule.walk_probability <= 1
+        assert schedule.walk_steps >= 1
+        assert schedule.broadcast_steps >= 1
+
+
+class TestMemoryGossipingSchedule:
+    def test_push_steps_multiple_of_fanout(self):
+        for n in (100, 1000, 10**6):
+            schedule = tuned_memory_gossiping().resolve(n)
+            assert (schedule.push_longsteps * schedule.fanout) % schedule.fanout == 0
+            assert schedule.push_longsteps * schedule.fanout >= 2 * log2(n) - 1
+
+    def test_table1_formulas(self):
+        n = 2**20
+        schedule = tuned_memory_gossiping().resolve(n)
+        assert schedule.push_longsteps * schedule.fanout == 40  # 2 * log2(n) = 40
+        assert schedule.pull_longsteps == int(2.0 * math.log2(20.0))
+        assert schedule.broadcast_steps == 20
+
+    def test_tree_capacity_covers_graph(self):
+        """fanout^push_longsteps must exceed n so the tree can reach everyone."""
+        for n in (256, 4096, 10**5):
+            schedule = tuned_memory_gossiping().resolve(n)
+            assert schedule.fanout ** schedule.push_longsteps >= n
+
+    def test_with_overrides(self):
+        params = tuned_memory_gossiping().with_overrides(num_trees=3)
+        assert params.resolve(100).num_trees == 3
+
+    def test_as_dict(self):
+        data = tuned_memory_gossiping().resolve(1024).as_dict()
+        assert data["fanout"] == 4
+        assert data["phase1_push_steps"] == data["phase1_push_longsteps"] * 4
+
+
+class TestLeaderElectionParameters:
+    def test_candidate_probability(self):
+        params = LeaderElectionParameters()
+        assert params.candidate_probability(2**10) == pytest.approx(100 / 1024)
+        assert params.candidate_probability(4) <= 1.0
+
+    def test_step_counts(self):
+        params = LeaderElectionParameters()
+        n = 2**16
+        assert params.push_steps(n) == math.ceil(16 + 2 * 4)
+        assert params.pull_steps(n) == math.ceil(2 * 4)
+
+    def test_expected_candidates_grow_slowly(self):
+        params = LeaderElectionParameters()
+        assert params.candidate_probability(10**6) * 10**6 == pytest.approx(
+            math.log2(10**6) ** 2
+        )
+
+
+class TestPushPullParameters:
+    def test_max_rounds(self):
+        assert PushPullParameters().max_rounds(1024) == 80
+        assert PushPullParameters(max_rounds_factor=2.0).max_rounds(1024) == 20
+
+    def test_minimum_bound(self):
+        assert PushPullParameters(max_rounds_factor=0.001).max_rounds(4) >= 4
+
+
+class TestTable1Rows:
+    def test_structure(self):
+        rows = table1_rows(10**6)
+        assert set(rows) == {"algorithm1_fast_gossiping", "algorithm2_memory_model"}
+        assert rows["algorithm1_fast_gossiping"]["n"] == 10**6
+        assert rows["algorithm2_memory_model"]["fanout"] == 4
+
+    def test_values_match_direct_resolution(self):
+        n = 4096
+        rows = table1_rows(n)
+        assert rows["algorithm1_fast_gossiping"] == tuned_fast_gossiping().resolve(n).as_dict()
+        assert rows["algorithm2_memory_model"] == tuned_memory_gossiping().resolve(n).as_dict()

@@ -1,0 +1,68 @@
+"""Tests for repro.core.results and the protocol base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GossipProtocol, GossipResult, PushPullGossip
+from repro.engine import KnowledgeMatrix, MessageAccounting, TransmissionLedger
+
+
+def make_result(n: int = 8) -> GossipResult:
+    ledger = TransmissionLedger(n)
+    ledger.record_pushes(np.arange(n))
+    ledger.record_opens(np.arange(n))
+    ledger.end_round()
+    return GossipResult(
+        protocol="test",
+        n_nodes=n,
+        completed=True,
+        rounds=1,
+        ledger=ledger,
+        knowledge=KnowledgeMatrix(n),
+        extras={"leader": 3, "trees": [object()]},
+    )
+
+
+class TestGossipResult:
+    def test_messages_per_node(self):
+        result = make_result()
+        assert result.messages_per_node() == pytest.approx(1.0)
+        assert result.messages_per_node(MessageAccounting.OPENS_AND_PACKETS) == pytest.approx(2.0)
+        assert result.total_messages() == 8
+        assert result.max_messages_per_node() == 1
+
+    def test_coverage(self):
+        result = make_result(4)
+        assert result.coverage() == pytest.approx(0.25)
+
+    def test_coverage_without_knowledge(self):
+        result = make_result()
+        result.knowledge = None
+        assert result.coverage() == 1.0
+
+    def test_summary_scalar_extras_only(self):
+        summary = make_result().summary()
+        assert summary["protocol"] == "test"
+        assert summary["extra_leader"] == 3
+        assert "extra_trees" not in summary  # non-scalar extras skipped
+        assert summary["messages_per_node"] == pytest.approx(1.0)
+        assert summary["ledger"]["total_packets"] == 8
+
+
+class TestProtocolBase:
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            GossipProtocol()  # type: ignore[abstract]
+
+    def test_concrete_protocol_has_name(self):
+        assert isinstance(PushPullGossip().name, str)
+
+    def test_prepare_rejects_bad_graphs(self):
+        from repro.graphs.adjacency import Adjacency
+
+        protocol = PushPullGossip()
+        lonely = Adjacency.from_edges(2, np.zeros((0, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            protocol.run(lonely, rng=0)

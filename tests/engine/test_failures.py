@@ -1,0 +1,91 @@
+"""Tests for repro.engine.failures (crash-failure plans)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.failures import NO_FAILURES, FailurePlan, sample_uniform_failures
+
+
+class TestFailurePlan:
+    def test_no_failures_constant(self):
+        assert NO_FAILURES.is_empty()
+        assert NO_FAILURES.count == 0
+        assert NO_FAILURES.alive_mask(5).all()
+
+    def test_deduplication_and_sorting(self):
+        plan = FailurePlan(failed=np.asarray([3, 1, 3, 2]))
+        assert plan.failed.tolist() == [1, 2, 3]
+        assert plan.count == 3
+
+    def test_alive_mask(self):
+        plan = FailurePlan(failed=np.asarray([0, 4]))
+        mask = plan.alive_mask(6)
+        assert mask.tolist() == [False, True, True, True, False, True]
+
+    def test_alive_mask_out_of_range(self):
+        plan = FailurePlan(failed=np.asarray([10]))
+        with pytest.raises(ValueError):
+            plan.alive_mask(5)
+
+    def test_applies_at(self):
+        plan = FailurePlan(failed=np.asarray([1]), inject_at="before_gather")
+        assert plan.applies_at("before_gather")
+        assert not plan.applies_at("start")
+        assert not NO_FAILURES.applies_at("before_gather")
+
+
+class TestSampling:
+    def test_count_and_range(self):
+        plan = sample_uniform_failures(100, 10, rng=1)
+        assert plan.count == 10
+        assert plan.failed.min() >= 0 and plan.failed.max() < 100
+
+    def test_zero_count(self):
+        plan = sample_uniform_failures(10, 0, rng=1)
+        assert plan.is_empty()
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            sample_uniform_failures(10, -1, rng=1)
+
+    def test_too_many(self):
+        with pytest.raises(ValueError):
+            sample_uniform_failures(10, 11, rng=1)
+
+    def test_protected_nodes_never_fail(self):
+        for seed in range(5):
+            plan = sample_uniform_failures(20, 15, rng=seed, protect=[0, 1])
+            assert 0 not in plan.failed.tolist()
+            assert 1 not in plan.failed.tolist()
+
+    def test_protection_reduces_capacity(self):
+        with pytest.raises(ValueError):
+            sample_uniform_failures(10, 10, rng=1, protect=[0])
+
+    def test_deterministic(self):
+        a = sample_uniform_failures(50, 7, rng=3)
+        b = sample_uniform_failures(50, 7, rng=3)
+        assert np.array_equal(a.failed, b.failed)
+
+    def test_inject_at_recorded(self):
+        plan = sample_uniform_failures(10, 2, rng=1, inject_at="start")
+        assert plan.inject_at == "start"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.data(),
+    )
+    def test_property_distinct_and_alive_consistency(self, n, data):
+        count = data.draw(st.integers(min_value=0, max_value=n))
+        plan = sample_uniform_failures(n, count, rng=data.draw(st.integers(0, 1000)))
+        # Failures are distinct.
+        assert len(set(plan.failed.tolist())) == plan.count == count
+        # Alive mask is the complement.
+        mask = plan.alive_mask(n)
+        assert int((~mask).sum()) == count
+        assert set(np.flatnonzero(~mask).tolist()) == set(plan.failed.tolist())

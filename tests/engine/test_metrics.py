@@ -1,0 +1,154 @@
+"""Tests for repro.engine.metrics (transmission ledgers and accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.metrics import MessageAccounting, PhaseTotals, TransmissionLedger
+
+
+class TestRecording:
+    def test_empty_ledger(self):
+        ledger = TransmissionLedger(4)
+        assert ledger.total() == 0
+        assert ledger.rounds == 0
+        assert ledger.average_per_node() == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TransmissionLedger(0)
+
+    def test_record_opens_pushes_pulls(self):
+        ledger = TransmissionLedger(4)
+        ledger.record_opens(np.asarray([0, 1, 2, 3]))
+        ledger.record_pushes(np.asarray([0, 1]))
+        ledger.record_pulls(np.asarray([2]))
+        assert ledger.total(MessageAccounting.OPENS) == 4
+        assert ledger.total(MessageAccounting.PUSHES) == 2
+        assert ledger.total(MessageAccounting.PULLS) == 1
+        assert ledger.total(MessageAccounting.PACKETS) == 3
+        assert ledger.total(MessageAccounting.OPENS_AND_PACKETS) == 7
+
+    def test_repeated_nodes_counted_multiple_times(self):
+        ledger = TransmissionLedger(3)
+        ledger.record_pulls(np.asarray([1, 1, 1]))
+        assert ledger.pull_packets[1] == 3
+
+    def test_empty_array_is_noop(self):
+        ledger = TransmissionLedger(3)
+        ledger.record_pushes(np.asarray([], dtype=np.int64))
+        assert ledger.total() == 0
+
+    def test_rounds(self):
+        ledger = TransmissionLedger(3)
+        for _ in range(5):
+            ledger.end_round()
+        assert ledger.rounds == 5
+
+    def test_per_node_and_max(self):
+        ledger = TransmissionLedger(3)
+        ledger.record_pushes(np.asarray([0, 0, 1]))
+        per_node = ledger.per_node()
+        assert per_node.tolist() == [2, 1, 0]
+        assert ledger.max_per_node() == 2
+        assert ledger.average_per_node() == pytest.approx(1.0)
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        ledger = TransmissionLedger(2)
+        ledger.begin_phase("one")
+        ledger.record_pushes(np.asarray([0]))
+        ledger.end_round()
+        ledger.end_phase()
+        ledger.begin_phase("two")
+        ledger.record_pulls(np.asarray([1, 1]))
+        ledger.end_round()
+        ledger.end_phase()
+        assert ledger.phases == ["one", "two"]
+        assert ledger.phase_totals("one").push_packets == 1
+        assert ledger.phase_totals("one").rounds == 1
+        assert ledger.phase_totals("two").pull_packets == 2
+
+    def test_recording_outside_phase(self):
+        ledger = TransmissionLedger(2)
+        ledger.record_pushes(np.asarray([0]))
+        assert ledger.total() == 1
+        assert ledger.phases == []
+
+    def test_reentering_phase_accumulates(self):
+        ledger = TransmissionLedger(2)
+        ledger.begin_phase("p")
+        ledger.record_pushes(np.asarray([0]))
+        ledger.end_phase()
+        ledger.begin_phase("p")
+        ledger.record_pushes(np.asarray([1]))
+        ledger.end_phase()
+        assert ledger.phase_totals("p").push_packets == 2
+        assert ledger.phases == ["p"]
+
+    def test_phase_totals_packets(self):
+        totals = PhaseTotals(channel_opens=1, push_packets=2, pull_packets=3, rounds=4)
+        assert totals.packets == 5
+        assert totals.as_dict()["packets"] == 5
+
+    def test_summary_structure(self):
+        ledger = TransmissionLedger(2)
+        ledger.begin_phase("p")
+        ledger.record_opens(np.asarray([0, 1]))
+        ledger.record_pushes(np.asarray([0]))
+        ledger.end_round()
+        ledger.end_phase()
+        summary = ledger.summary()
+        assert summary["total_channel_opens"] == 2
+        assert summary["total_packets"] == 1
+        assert "p" in summary["phases"]
+
+
+class TestMerge:
+    def test_merge_adds_counters(self):
+        a = TransmissionLedger(3)
+        b = TransmissionLedger(3)
+        a.begin_phase("x")
+        a.record_pushes(np.asarray([0]))
+        a.end_round()
+        a.end_phase()
+        b.begin_phase("y")
+        b.record_pulls(np.asarray([1]))
+        b.end_round()
+        b.end_phase()
+        merged = a.merge(b)
+        assert merged.total() == 2
+        assert merged.rounds == 2
+        assert set(merged.phases) == {"x", "y"}
+        # Originals untouched.
+        assert a.total() == 1 and b.total() == 1
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            TransmissionLedger(2).merge(TransmissionLedger(3))
+
+
+class TestAccountingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+    )
+    def test_accounting_identities(self, opens, pushes, pulls):
+        """opens + packets == strict accounting; packets == pushes + pulls."""
+        ledger = TransmissionLedger(10)
+        ledger.record_opens(np.asarray(opens, dtype=np.int64))
+        ledger.record_pushes(np.asarray(pushes, dtype=np.int64))
+        ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+        assert ledger.total(MessageAccounting.PACKETS) == len(pushes) + len(pulls)
+        assert ledger.total(MessageAccounting.OPENS) == len(opens)
+        assert ledger.total(MessageAccounting.OPENS_AND_PACKETS) == len(opens) + len(
+            pushes
+        ) + len(pulls)
+        per_node_sum = ledger.per_node(MessageAccounting.OPENS_AND_PACKETS).sum()
+        assert per_node_sum == ledger.total(MessageAccounting.OPENS_AND_PACKETS)

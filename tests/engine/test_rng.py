@@ -1,0 +1,85 @@
+"""Tests for repro.engine.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import derive_seed, ensure_rng, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1_000_000, size=10)
+        b = make_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=10)
+        b = make_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(make_rng(seq), np.random.Generator)
+
+    def test_ensure_rng_alias(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(3, 5)
+        assert len(children) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(3, 2)
+        a = children[0].integers(0, 1_000_000, size=20)
+        b = children[1].integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.integers(0, 1_000_000) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 1_000_000) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 4)
+        assert len(children) == 4
+
+    def test_spawn_from_seed_sequence(self):
+        children = spawn_rngs(np.random.SeedSequence(5), 4)
+        assert len(children) == 4
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_depends_on_components(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_depends_on_base(self):
+        assert derive_seed(1, 2, 3) != derive_seed(2, 2, 3)
+
+    def test_none_base_maps_to_zero(self):
+        assert derive_seed(None, 1) == derive_seed(0, 1)
+
+    def test_result_in_range(self):
+        seed = derive_seed(123, 4, 5, 6)
+        assert 0 <= seed < 2**63 - 1

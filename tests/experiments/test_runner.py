@@ -1,0 +1,129 @@
+"""Tests for the experiment runner machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import SweepTask
+from repro.core import FastGossiping, MemoryGossiping, PushPullGossip
+from repro.experiments.runner import (
+    ExperimentResult,
+    aggregate_records,
+    gossip_task,
+    make_protocol,
+    robustness_task,
+)
+from repro.graphs import GraphSpec
+
+
+class TestMakeProtocol:
+    def test_known_protocols(self):
+        assert isinstance(make_protocol("push-pull"), PushPullGossip)
+        assert isinstance(make_protocol("fast-gossiping"), FastGossiping)
+        assert isinstance(make_protocol("memory"), MemoryGossiping)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            make_protocol("bogus")
+
+    def test_fast_gossiping_overrides(self):
+        protocol = make_protocol(
+            "fast-gossiping", protocol_options={"walk_probability_factor": 3.0}
+        )
+        assert protocol.params.walk_probability_factor == 3.0
+
+    def test_memory_options(self):
+        protocol = make_protocol(
+            "memory",
+            protocol_options={"leader": 5, "gather_only": True, "num_trees": 2},
+        )
+        assert protocol.leader == 5
+        assert protocol.gather_only
+        assert protocol.params.num_trees == 2
+
+
+class TestTasks:
+    def _spec(self, n=128):
+        return GraphSpec("erdos_renyi", n, {"p": 0.3, "require_connected": True}).as_dict()
+
+    def test_gossip_task_record(self):
+        task = SweepTask(
+            key=(128, "push-pull"),
+            params={"graph_spec": self._spec(), "protocol": "push-pull"},
+            repetition=0,
+            seed=1,
+        )
+        record = gossip_task(task)
+        assert record["n"] == 128
+        assert record["completed"]
+        assert record["messages_per_node"] > 0
+        assert record["strict_cost_per_node"] >= record["messages_per_node"]
+
+    def test_robustness_task_record(self):
+        task = SweepTask(
+            key=(128, 10),
+            params={"graph_spec": self._spec(), "failed": 10, "num_trees": 2, "leader": 0},
+            repetition=0,
+            seed=2,
+        )
+        record = robustness_task(task)
+        assert record["failed"] == 10
+        assert record["additional_lost"] >= 0
+        assert record["loss_ratio"] == record["additional_lost"] / 10
+
+    def test_robustness_task_zero_failures(self):
+        task = SweepTask(
+            key=(128, 0),
+            params={"graph_spec": self._spec(), "failed": 0, "leader": 0},
+            repetition=0,
+            seed=3,
+        )
+        record = robustness_task(task)
+        assert record["additional_lost"] == 0
+        assert record["loss_ratio"] == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_records(self):
+        records = [
+            {"n": 10, "protocol": "a", "x": 1.0},
+            {"n": 10, "protocol": "a", "x": 3.0},
+            {"n": 20, "protocol": "a", "x": 5.0},
+        ]
+        rows = aggregate_records(records, group_by=("n", "protocol"), metrics=("x",))
+        assert len(rows) == 2
+        assert rows[0]["x"] == pytest.approx(2.0)
+        assert rows[0]["repetitions"] == 2
+        assert rows[0]["x_std"] > 0
+        assert rows[1]["x"] == pytest.approx(5.0)
+
+    def test_aggregate_preserves_group_order(self):
+        records = [{"g": "b", "x": 1.0}, {"g": "a", "x": 2.0}]
+        rows = aggregate_records(records, group_by=("g",), metrics=("x",))
+        assert [r["g"] for r in rows] == ["b", "a"]
+
+    def test_missing_metric_skipped(self):
+        rows = aggregate_records([{"g": 1}], group_by=("g",), metrics=("x",))
+        assert "x" not in rows[0]
+
+
+class TestExperimentResult:
+    def test_to_table_and_save(self, tmp_path):
+        result = ExperimentResult(
+            name="demo",
+            description="demo experiment",
+            rows=[{"n": 1, "v": 2.0}],
+            raw_records=[{"n": 1, "v": 2.0, "rep": 0}],
+            metadata={"seed": 1},
+        )
+        table = result.to_table()
+        assert "demo experiment" in table
+        paths = result.save(tmp_path)
+        assert paths["rows_json"].exists()
+        assert paths["rows_csv"].exists()
+        assert paths["raw_csv"].exists()
+        assert paths["metadata"].exists()
+
+    def test_empty_rows_table(self):
+        result = ExperimentResult(name="empty", description="d")
+        assert "no rows" in result.to_table()

@@ -1,0 +1,225 @@
+"""Tests for repro.graphs.adjacency (CSR adjacency structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import Adjacency
+from repro.engine.rng import make_rng
+
+
+def path_graph(n: int) -> Adjacency:
+    edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+    return Adjacency.from_edges(n, edges)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        graph = Adjacency.from_edges(4, np.asarray([[0, 1], [1, 2], [2, 3]]))
+        assert graph.n == 4
+        assert graph.num_edges == 3
+        assert graph.degrees.tolist() == [1, 2, 2, 1]
+
+    def test_self_loops_removed(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 0], [0, 1]]))
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 0)
+
+    def test_duplicate_edges_removed(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1], [1, 0], [0, 1]]))
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 1
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Adjacency.from_edges(3, np.asarray([[0, 3]]))
+
+    def test_empty_graph(self):
+        graph = Adjacency.from_edges(4, np.zeros((0, 2), dtype=np.int64))
+        assert graph.num_edges == 0
+        assert graph.min_degree() == 0
+        assert graph.is_connected() is False  # 4 isolated nodes
+
+    def test_single_node(self):
+        graph = Adjacency.from_edges(1, np.zeros((0, 2), dtype=np.int64))
+        assert graph.is_connected()
+
+    def test_from_neighbor_lists(self):
+        graph = Adjacency.from_neighbor_lists([[1, 2], [0], [0]])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 2)
+
+    def test_networkx_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        original = nx.erdos_renyi_graph(30, 0.2, seed=1)
+        graph = Adjacency.from_networkx(original)
+        assert graph.n == 30
+        assert graph.num_edges == original.number_of_edges()
+        back = graph.to_networkx()
+        assert back.number_of_edges() == original.number_of_edges()
+
+    def test_inconsistent_csr_rejected(self):
+        with pytest.raises(ValueError):
+            Adjacency(np.asarray([0, 2]), np.asarray([1]))
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        graph = Adjacency.from_edges(5, np.asarray([[0, 4], [0, 2], [0, 1]]))
+        assert graph.neighbors(0).tolist() == [1, 2, 4]
+
+    def test_has_edge_symmetry(self):
+        graph = path_graph(5)
+        for u in range(5):
+            for v in range(5):
+                assert graph.has_edge(u, v) == graph.has_edge(v, u)
+                assert graph.has_edge(u, v) == (abs(u - v) == 1)
+
+    def test_edge_list_canonical(self):
+        graph = path_graph(4)
+        edges = graph.edge_list()
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_degree_stats(self):
+        graph = path_graph(5)
+        assert graph.min_degree() == 1
+        assert graph.max_degree() == 2
+        assert graph.mean_degree() == pytest.approx(8 / 5)
+
+
+class TestSampling:
+    def test_sample_neighbors_valid(self):
+        graph = path_graph(10)
+        rng = make_rng(0)
+        nodes = np.arange(10)
+        samples = graph.sample_neighbors(nodes, rng)
+        for node, sample in zip(nodes.tolist(), samples.tolist()):
+            assert graph.has_edge(node, sample)
+
+    def test_sample_isolated_gives_minus_one(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1]]))
+        samples = graph.sample_neighbors(np.asarray([2]), make_rng(0))
+        assert samples.tolist() == [-1]
+
+    def test_sample_empty_input(self):
+        graph = path_graph(3)
+        assert graph.sample_neighbors(np.asarray([], dtype=np.int64), make_rng(0)).size == 0
+
+    def test_sample_neighbor_scalar(self):
+        graph = path_graph(3)
+        assert graph.sample_neighbor(0, make_rng(0)) == 1
+
+    def test_sample_is_roughly_uniform(self):
+        graph = Adjacency.from_edges(5, np.asarray([[0, 1], [0, 2], [0, 3], [0, 4]]))
+        rng = make_rng(1)
+        samples = graph.sample_neighbors(np.zeros(4000, dtype=np.int64), rng)
+        counts = np.bincount(samples, minlength=5)[1:]
+        assert counts.min() > 800  # each neighbour ~1000 expected
+
+    def test_sample_avoiding(self):
+        graph = Adjacency.from_edges(5, np.asarray([[0, 1], [0, 2], [0, 3], [0, 4]]))
+        rng = make_rng(2)
+        for _ in range(20):
+            picked = graph.sample_neighbors_avoiding(0, rng, avoid=[1, 2], count=1)
+            assert picked.size == 1
+            assert picked[0] in (3, 4)
+
+    def test_sample_avoiding_distinct(self):
+        graph = Adjacency.from_edges(6, np.asarray([[0, i] for i in range(1, 6)]))
+        picked = graph.sample_neighbors_avoiding(0, make_rng(3), count=4)
+        assert picked.size == 4
+        assert len(set(picked.tolist())) == 4
+
+    def test_sample_avoiding_all_avoided(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1], [0, 2]]))
+        picked = graph.sample_neighbors_avoiding(0, make_rng(4), avoid=[1, 2], count=1)
+        assert picked.size == 0
+
+    def test_sample_avoiding_count_exceeds_neighbors(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1], [0, 2]]))
+        picked = graph.sample_neighbors_avoiding(0, make_rng(5), count=10)
+        assert set(picked.tolist()) == {1, 2}
+
+    def test_sample_avoiding_with_replacement(self):
+        graph = Adjacency.from_edges(2, np.asarray([[0, 1]]))
+        picked = graph.sample_neighbors_avoiding(0, make_rng(6), count=5, distinct=False)
+        assert picked.size == 5
+        assert set(picked.tolist()) == {1}
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self):
+        graph = path_graph(6)
+        dist = graph.bfs_distances(0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_cutoff(self):
+        graph = path_graph(6)
+        dist = graph.bfs_distances(0, cutoff=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_unreachable_nodes(self):
+        graph = Adjacency.from_edges(4, np.asarray([[0, 1], [2, 3]]))
+        dist = graph.bfs_distances(0)
+        assert dist[2] == -1 and dist[3] == -1
+        assert set(graph.connected_component(0).tolist()) == {0, 1}
+        assert not graph.is_connected()
+
+    def test_connected_path(self):
+        assert path_graph(10).is_connected()
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_edge_list(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=60))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+class TestAdjacencyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_edge_list())
+    def test_handshake_lemma(self, data):
+        """Sum of degrees equals twice the number of edges."""
+        n, edges = data
+        graph = Adjacency.from_edges(n, edges)
+        assert graph.degrees.sum() == 2 * graph.num_edges
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_edge_list())
+    def test_symmetry_and_simplicity(self, data):
+        n, edges = data
+        graph = Adjacency.from_edges(n, edges)
+        for u in range(n):
+            nbrs = graph.neighbors(u)
+            # No self loops, sorted, unique.
+            assert u not in nbrs.tolist()
+            assert np.all(np.diff(nbrs) > 0)
+            for v in nbrs.tolist():
+                assert graph.has_edge(v, u)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_edge_list())
+    def test_edge_list_roundtrip(self, data):
+        n, edges = data
+        graph = Adjacency.from_edges(n, edges)
+        rebuilt = Adjacency.from_edges(n, graph.edge_list())
+        assert np.array_equal(rebuilt.indptr, graph.indptr)
+        assert np.array_equal(rebuilt.indices, graph.indices)

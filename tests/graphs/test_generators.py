@@ -1,0 +1,245 @@
+"""Tests for the random graph generators and the GraphSpec factory."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphSpec,
+    complete_graph,
+    configuration_model,
+    erdos_renyi,
+    hypercube,
+    make_graph,
+    paper_edge_probability,
+    paper_expected_degree,
+    paper_graph_spec,
+    power_law_degree_sequence,
+    power_law_graph,
+    random_regular,
+)
+from repro.graphs.erdos_renyi import expected_degree_to_p
+
+
+class TestErdosRenyi:
+    def test_basic_properties(self):
+        graph = erdos_renyi(200, 0.1, rng=1)
+        assert graph.n == 200
+        assert graph.num_edges > 0
+
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.05
+        graph = erdos_renyi(n, p, rng=2)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 0.2 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, rng=1).num_edges == 0
+        assert erdos_renyi(10, 1.0, rng=1).num_edges == 45
+
+    def test_expected_degree_parametrisation(self):
+        graph = erdos_renyi(300, expected_degree=20, rng=3)
+        assert abs(graph.mean_degree() - 20) < 5
+
+    def test_exactly_one_parametrisation_required(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 0.5, expected_degree=3)
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5)
+
+    def test_require_connected(self):
+        n = 256
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=4, require_connected=True)
+        assert graph.is_connected()
+
+    def test_require_connected_impossible(self):
+        with pytest.raises(RuntimeError):
+            erdos_renyi(50, 0.0, rng=5, require_connected=True, max_retries=2)
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi(100, 0.1, rng=7)
+        b = erdos_renyi(100, 0.1, rng=7)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_degree_concentration_paper_density(self):
+        """In the paper's regime degrees concentrate around log^2 n."""
+        n = 1024
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=8)
+        expected = math.log2(n) ** 2
+        assert abs(graph.mean_degree() - expected) < 0.15 * expected
+        assert graph.min_degree() > 0.4 * expected
+
+    def test_helpers(self):
+        assert expected_degree_to_p(101, 10) == pytest.approx(0.1)
+        assert expected_degree_to_p(1, 10) == 0.0
+        assert paper_edge_probability(2) <= 1.0
+        assert paper_expected_degree(1024) == pytest.approx(100.0)
+
+
+class TestConfigurationModel:
+    def test_regular_degrees_close(self):
+        graph = random_regular(200, 20, rng=1)
+        # Erased configuration model: degrees may lose a few stubs.
+        assert graph.max_degree() <= 20
+        assert graph.mean_degree() > 18
+
+    def test_degree_sum_must_be_even(self):
+        with pytest.raises(ValueError):
+            configuration_model([3, 3, 1])
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model([2, -1, 1])
+
+    def test_invalid_regular_params(self):
+        with pytest.raises(ValueError):
+            random_regular(0, 2)
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+    def test_custom_degree_sequence(self):
+        degrees = [1, 1, 2, 2, 4, 4, 3, 3]
+        graph = configuration_model(degrees, rng=2)
+        assert graph.n == 8
+        assert graph.degrees.sum() <= sum(degrees)
+
+    def test_require_connected(self):
+        graph = random_regular(128, 16, rng=3, require_connected=True)
+        assert graph.is_connected()
+
+    def test_deterministic(self):
+        a = random_regular(64, 8, rng=5)
+        b = random_regular(64, 8, rng=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=60), st.integers(min_value=2, max_value=6))
+    def test_property_simple_and_bounded(self, n, d):
+        if (n * d) % 2:
+            d += 1
+        if d >= n:
+            d = n - 1 if (n * (n - 1)) % 2 == 0 else n - 2
+        graph = random_regular(n, max(d, 0), rng=0)
+        assert graph.max_degree() <= max(d, 0)
+        for u in range(graph.n):
+            assert u not in graph.neighbors(u).tolist()
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph(self):
+        graph = complete_graph(10)
+        assert graph.num_edges == 45
+        assert graph.min_degree() == graph.max_degree() == 9
+        assert graph.is_connected()
+
+    def test_complete_single_node(self):
+        assert complete_graph(1).num_edges == 0
+
+    def test_complete_invalid(self):
+        with pytest.raises(ValueError):
+            complete_graph(0)
+
+    def test_hypercube(self):
+        graph = hypercube(4)
+        assert graph.n == 16
+        assert graph.min_degree() == graph.max_degree() == 4
+        assert graph.is_connected()
+        # Neighbours differ in exactly one bit.
+        for u in range(graph.n):
+            for v in graph.neighbors(u).tolist():
+                assert bin(u ^ v).count("1") == 1
+
+    def test_hypercube_dimension_zero(self):
+        assert hypercube(0).n == 1
+
+    def test_hypercube_invalid(self):
+        with pytest.raises(ValueError):
+            hypercube(-1)
+
+
+class TestPowerLaw:
+    def test_degree_sequence_even_sum(self):
+        for seed in range(5):
+            degrees = power_law_degree_sequence(101, 2.5, rng=seed)
+            assert degrees.sum() % 2 == 0
+            assert degrees.min() >= 2
+
+    def test_degree_sequence_bounds(self):
+        degrees = power_law_degree_sequence(400, 2.5, min_degree=3, max_degree=20, rng=1)
+        assert degrees.min() >= 3
+        assert degrees.max() <= 21  # one node may be bumped to fix parity
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 0.9)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.5, min_degree=0)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.5, min_degree=5, max_degree=4)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(0, 2.5)
+
+    def test_graph_is_heavy_tailed(self):
+        graph = power_law_graph(500, 2.2, rng=2)
+        assert graph.n == 500
+        assert graph.max_degree() > 2 * graph.mean_degree()
+
+
+class TestGraphSpec:
+    def test_spec_roundtrip(self):
+        spec = GraphSpec(kind="erdos_renyi", n=64, params={"p": 0.2})
+        assert GraphSpec.from_dict(spec.as_dict()) == spec
+        assert "erdos_renyi" in spec.describe()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GraphSpec(kind="nonsense", n=10)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            GraphSpec(kind="complete", n=0)
+
+    def test_make_graph_all_kinds(self):
+        specs = [
+            GraphSpec("erdos_renyi", 64, {"p": 0.2}),
+            GraphSpec("random_regular", 64, {"d": 6}),
+            GraphSpec("configuration_model", 6, {"degrees": [2, 2, 2, 2, 2, 2]}),
+            GraphSpec("complete", 16),
+            GraphSpec("hypercube", 16),
+            GraphSpec("power_law", 100, {"exponent": 2.5}),
+        ]
+        for spec in specs:
+            graph = make_graph(spec, rng=1)
+            assert graph.n == spec.n
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_graph(GraphSpec("hypercube", 12))
+
+    def test_paper_graph_spec(self):
+        spec = paper_graph_spec(1024)
+        assert spec.kind == "erdos_renyi"
+        assert spec.params["p"] == pytest.approx(paper_edge_probability(1024))
+        graph = make_graph(spec, rng=1)
+        assert graph.is_connected()
+
+    def test_make_graph_deterministic(self):
+        spec = GraphSpec("erdos_renyi", 128, {"p": 0.1})
+        a = make_graph(spec, rng=9)
+        b = make_graph(spec, rng=9)
+        assert np.array_equal(a.indices, b.indices)

@@ -1,0 +1,125 @@
+"""Tests for repro.graphs.properties (structural analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    degree_statistics,
+    erdos_renyi,
+    estimate_conductance,
+    estimate_diameter,
+    average_distance_sample,
+    hypercube,
+    paper_edge_probability,
+    profile_graph,
+    random_regular,
+    spectral_gap,
+)
+from repro.graphs.adjacency import Adjacency
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        stats = degree_statistics(hypercube(4))
+        assert stats.minimum == stats.maximum == 4
+        assert stats.std == 0.0
+        assert stats.concentration == 0.0
+
+    def test_path_graph(self):
+        graph = Adjacency.from_edges(4, np.asarray([[0, 1], [1, 2], [2, 3]]))
+        stats = degree_statistics(graph)
+        assert stats.minimum == 1 and stats.maximum == 2
+        assert stats.mean == pytest.approx(1.5)
+
+    def test_paper_density_concentrates(self):
+        n = 1024
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=1)
+        stats = degree_statistics(graph)
+        assert stats.concentration < 1.0  # spread well below the mean
+
+
+class TestSpectralGap:
+    def test_complete_graph_gap_large(self):
+        gap = spectral_gap(complete_graph(50))
+        assert gap > 0.9
+
+    def test_cycle_gap_small(self):
+        n = 64
+        edges = np.column_stack([np.arange(n), (np.arange(n) + 1) % n])
+        cycle = Adjacency.from_edges(n, edges)
+        assert spectral_gap(cycle) < 0.1
+
+    def test_random_graph_is_expander(self):
+        n = 512
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=2, require_connected=True)
+        assert spectral_gap(graph) > 0.3
+
+    def test_tiny_graph(self):
+        assert spectral_gap(Adjacency.from_edges(2, np.asarray([[0, 1]]))) == 1.0
+
+
+class TestConductanceAndDistances:
+    def test_conductance_of_expander_is_large(self):
+        graph = random_regular(256, 16, rng=3, require_connected=True)
+        assert estimate_conductance(graph, samples=20, rng=0) > 0.2
+
+    def test_conductance_of_barbell_is_small(self):
+        # Two cliques joined by a single edge: conductance ~ 1/(k^2).
+        k = 20
+        cliques = []
+        for offset in (0, k):
+            rows, cols = np.triu_indices(k, k=1)
+            cliques.append(np.column_stack([rows + offset, cols + offset]))
+        bridge = np.asarray([[k - 1, k]])
+        graph = Adjacency.from_edges(2 * k, np.concatenate(cliques + [bridge]))
+        assert estimate_conductance(graph, samples=40, rng=1) < 0.05
+
+    def test_conductance_trivial_graph(self):
+        assert estimate_conductance(Adjacency.from_edges(2, np.asarray([[0, 1]]))) == 1.0
+
+    def test_diameter_path(self):
+        n = 20
+        edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+        graph = Adjacency.from_edges(n, edges)
+        assert estimate_diameter(graph, samples=n, rng=0) == n - 1
+
+    def test_diameter_complete(self):
+        assert estimate_diameter(complete_graph(20), samples=5, rng=0) == 1
+
+    def test_diameter_random_graph_logarithmic(self):
+        n = 1024
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=4, require_connected=True)
+        diameter = estimate_diameter(graph, samples=5, rng=0)
+        assert diameter <= 2 * math.log2(n) / math.log2(math.log2(n) ** 2) + 3
+
+    def test_average_distance(self):
+        graph = complete_graph(30)
+        assert average_distance_sample(graph, samples=5, rng=0) == pytest.approx(1.0)
+
+    def test_trivial_sizes(self):
+        single = Adjacency.from_edges(1, np.zeros((0, 2), dtype=np.int64))
+        assert estimate_diameter(single) == 0
+        assert average_distance_sample(single) == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        n = 256
+        graph = erdos_renyi(n, paper_edge_probability(n), rng=5, require_connected=True)
+        profile = profile_graph(graph, rng=0)
+        data = profile.as_dict()
+        assert data["n"] == n
+        assert data["connected"] is True
+        assert data["spectral_gap"] > 0.2
+        assert data["conductance_estimate"] > 0.1
+        assert data["mean_degree"] == pytest.approx(graph.mean_degree())
+
+    def test_profile_without_spectral(self):
+        graph = complete_graph(16)
+        profile = profile_graph(graph, rng=0, spectral=False)
+        assert profile.spectral_gap is None

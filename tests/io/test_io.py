@@ -1,0 +1,102 @@
+"""Tests for repro.io (persistence and table rendering)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    format_records,
+    format_table,
+    format_value,
+    load_csv,
+    load_json,
+    save_csv,
+    save_json,
+    to_jsonable,
+)
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.asarray([1, 2, 3])) == [1, 2, 3]
+
+    def test_nested_structures(self):
+        data = {"a": np.asarray([1]), "b": [np.int64(2), {"c": np.float32(1.5)}]}
+        out = to_jsonable(data)
+        json.dumps(out)  # must be JSON-serialisable
+        assert out["a"] == [1]
+        assert out["b"][1]["c"] == 1.5
+
+    def test_exotic_objects_stringified(self):
+        class Weird:
+            def __repr__(self):
+                return "weird!"
+
+        assert to_jsonable(Weird()) == "weird!"
+
+    def test_passthrough(self):
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+
+class TestJsonRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        records = [{"n": 10, "value": 1.5}, {"n": 20, "value": np.float64(2.5)}]
+        path = save_json(records, tmp_path / "sub" / "data.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded[1]["value"] == 2.5
+
+
+class TestCsvRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3.0}]
+        path = save_csv(records, tmp_path / "data.csv")
+        loaded = load_csv(path)
+        assert loaded[0]["a"] == "1"
+        assert loaded[1]["c"] == "3.0"
+        assert set(loaded[0].keys()) == {"a", "b", "c"}
+
+    def test_explicit_columns(self, tmp_path):
+        records = [{"a": 1, "b": 2}]
+        path = save_csv(records, tmp_path / "cols.csv", columns=["b"])
+        loaded = load_csv(path)
+        assert list(loaded[0].keys()) == ["b"]
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(1.23456) == "1.235"
+        assert format_value(1e9) == "1.00e+09"
+        assert format_value(float("nan")) == "nan"
+        assert format_value("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        table = format_table(["col", "x"], [["a", 1], ["bbbb", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "x" in lines[1]
+        assert len(lines) == 5
+        # All data rows have the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_records(self):
+        records = [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}]
+        table = format_records(records, ["b", "a"])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_column_shows_dash(self):
+        table = format_records([{"a": 1}], ["a", "missing"])
+        assert "-" in table.splitlines()[-1]

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "fast-gossiping"
+        assert args.nodes == 1024
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "figure1"])
+        assert args.name == "figure1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-an-experiment"])
+
+
+class TestRunCommand:
+    def test_run_memory_protocol(self, capsys):
+        code = main(["run", "--protocol", "memory", "-n", "256", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "memory" in out
+        assert "packets/node" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(["run", "--protocol", "push-pull", "-n", "128", "--seed", "1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["protocol"] == "push-pull"
+        assert data["completed"] is True
+
+    def test_run_on_complete_graph(self, capsys):
+        code = main(["run", "--graph", "complete", "-n", "128", "--seed", "2"])
+        assert code == 0
+        assert "complete(n=128)" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table1_experiment(self, capsys):
+        code = main(["experiment", "table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm1_fast_gossiping" in out
+
+    def test_figure2_with_output_and_plot(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "figure2",
+                "--seed",
+                "7",
+                "--plot",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loss" in out
+        assert "legend:" in out  # the ASCII plot was rendered
+        assert (tmp_path / "figure2_rows.csv").exists()
+        assert (tmp_path / "figure2_rows.json").exists()
+
+
+class TestOtherCommands:
+    def test_table1_command(self, capsys):
+        code = main(["table1", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase1_distribution_steps" in out
+        assert "fanout" in out
+
+    def test_graph_info(self, capsys):
+        code = main(["graph-info", "-n", "256", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean_degree" in out
+        assert "connected" in out

@@ -1,0 +1,149 @@
+"""End-to-end integration tests across protocols, graph families and failures.
+
+These tests exercise the full public API the way a downstream user would and
+check the paper's headline claims at a small scale:
+
+* all three gossiping protocols complete on all supported graph families,
+* the qualitative cost ordering of Figure 1 holds,
+* the memory model's time/messages trade-off versus the baseline holds,
+* combining leader election with gossiping works end to end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    FastGossiping,
+    LeaderElection,
+    MemoryGossiping,
+    PushPullGossip,
+    complete_graph,
+    erdos_renyi,
+    hypercube,
+    make_graph,
+    paper_graph_spec,
+    random_regular,
+    sample_uniform_failures,
+)
+from repro.analysis import fit_constant, push_pull_gossip_messages_per_node
+from repro.core import tuned_memory_gossiping
+from repro.engine import MessageAccounting
+from repro.graphs import GraphSpec, power_law_graph
+
+
+PROTOCOLS = [
+    ("push-pull", lambda: PushPullGossip()),
+    ("fast-gossiping", lambda: FastGossiping()),
+    ("memory", lambda: MemoryGossiping(leader=0)),
+]
+
+GRAPHS = [
+    ("paper-er", lambda: erdos_renyi(256, expected_degree=64, rng=1, require_connected=True)),
+    ("regular", lambda: random_regular(256, 32, rng=2, require_connected=True)),
+    ("complete", lambda: complete_graph(128)),
+    ("hypercube", lambda: hypercube(7)),
+]
+
+
+class TestAllProtocolsOnAllGraphs:
+    @pytest.mark.parametrize("graph_name,graph_factory", GRAPHS)
+    @pytest.mark.parametrize("protocol_name,protocol_factory", PROTOCOLS)
+    def test_completion(self, graph_name, graph_factory, protocol_name, protocol_factory):
+        graph = graph_factory()
+        result = protocol_factory().run(graph, rng=3)
+        assert result.completed, f"{protocol_name} failed on {graph_name}"
+        assert result.knowledge.is_complete()
+        assert result.rounds > 0
+        assert result.total_messages() > 0
+
+
+class TestFigureOneOrdering:
+    def test_cost_ordering_and_tradeoff(self, medium_paper_graph):
+        push_pull = PushPullGossip().run(medium_paper_graph, rng=4)
+        fast = FastGossiping().run(medium_paper_graph, rng=5)
+        memory = MemoryGossiping(leader=0).run(medium_paper_graph, rng=6)
+        # Message ordering of Figure 1.
+        assert memory.messages_per_node() < fast.messages_per_node()
+        assert fast.messages_per_node() < push_pull.messages_per_node()
+        # Time/messages trade-off: cheaper protocols take more rounds.
+        assert fast.rounds > push_pull.rounds
+
+    def test_push_pull_scales_like_log_n(self):
+        sizes = (128, 256, 512, 1024)
+        costs = []
+        for index, n in enumerate(sizes):
+            graph = make_graph(paper_graph_spec(n), rng=10 + index)
+            result = PushPullGossip().run(graph, rng=20 + index)
+            assert result.completed
+            costs.append(result.messages_per_node())
+        constant = fit_constant(sizes, costs, push_pull_gossip_messages_per_node)
+        predicted = [constant * math.log2(n) for n in sizes]
+        for measured, expected in zip(costs, predicted):
+            assert measured == pytest.approx(expected, rel=0.35)
+
+    def test_memory_cost_flat_in_n(self):
+        costs = []
+        for index, n in enumerate((128, 512)):
+            graph = make_graph(paper_graph_spec(n), rng=30 + index)
+            result = MemoryGossiping(leader=0).run(graph, rng=40 + index)
+            assert result.completed
+            costs.append(result.messages_per_node())
+        assert abs(costs[1] - costs[0]) < 4.0
+
+
+class TestLeaderElectionPipeline:
+    def test_election_plus_gossip(self, small_paper_graph):
+        election = LeaderElection().run(small_paper_graph, rng=7)
+        assert election.unique
+        gossip = MemoryGossiping(leader=election.leader).run(small_paper_graph, rng=8)
+        assert gossip.completed
+        # End-to-end cost: still far below the push-pull baseline.
+        baseline = PushPullGossip().run(small_paper_graph, rng=9)
+        total = gossip.messages_per_node() + election.messages_per_node()
+        assert total < 2 * baseline.messages_per_node()
+
+
+class TestFailureResilience:
+    def test_memory_model_with_failures_end_to_end(self, medium_paper_graph):
+        n = medium_paper_graph.n
+        params = tuned_memory_gossiping().with_overrides(num_trees=3)
+        plan = sample_uniform_failures(n, n // 10, rng=50, protect=[0])
+        result = MemoryGossiping(params, leader=0).run(
+            medium_paper_graph, rng=51, failures=plan
+        )
+        alive = plan.alive_mask(n)
+        # Healthy nodes learned the overwhelming majority of healthy messages.
+        counts = result.knowledge.counts()[alive]
+        assert counts.min() >= 0.9 * (n - n // 10)
+        # Failed nodes never transmitted anything.
+        per_node = result.ledger.per_node(MessageAccounting.OPENS_AND_PACKETS)
+        phase1_only = result.ledger.phase_totals("phase1-tree-construction")
+        assert per_node[plan.failed].sum() <= phase1_only.channel_opens
+
+    def test_power_law_substrate(self):
+        graph = power_law_graph(400, 2.3, min_degree=3, rng=60)
+        # Heavy-tailed graphs may be disconnected; restrict to the giant
+        # component via require-connected resampling is not available here, so
+        # simply check the protocol runs and reaches the giant component.
+        if graph.min_degree() == 0 or not graph.is_connected():
+            pytest.skip("sampled power-law graph not connected")
+        result = PushPullGossip().run(graph, rng=61)
+        assert result.completed
+
+
+class TestSpecDrivenWorkflow:
+    def test_user_workflow_from_spec_to_report(self, tmp_path):
+        """The README workflow: spec -> graph -> protocol -> result -> save."""
+        spec = GraphSpec("erdos_renyi", 128, {"p": 0.3, "require_connected": True})
+        graph = make_graph(spec, rng=70)
+        result = FastGossiping().run(graph, rng=71, record_trace=True)
+        assert result.completed
+        from repro.io import save_json
+
+        path = save_json(result.summary(), tmp_path / "run.json")
+        assert path.exists()
+        assert result.trace.final_coverage() == pytest.approx(1.0)
