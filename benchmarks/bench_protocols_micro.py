@@ -72,3 +72,33 @@ def test_knowledge_round_update(benchmark, graph):
 
     benchmark(one_round)
     assert knowledge.total_known() >= graph.n
+
+
+def test_knowledge_exchange_update(benchmark, graph):
+    """One synchronous exchange round through the vectorized kernel hot path.
+
+    Unlike :func:`test_knowledge_round_update` this exercises the
+    snapshot-free :meth:`KnowledgeMatrix.apply_exchange` entry point the
+    protocols actually use (reusable double buffer / compiled kernel).
+    """
+    rng = make_rng(17)
+    knowledge = KnowledgeMatrix(graph.n)
+    nodes = np.arange(graph.n)
+
+    def one_round():
+        targets = graph.sample_neighbors(nodes, rng)
+        return knowledge.apply_exchange(nodes, targets)
+
+    benchmark(one_round)
+    assert knowledge.total_known() >= graph.n
+
+
+def test_transmission_scatter_batch(benchmark, graph):
+    """Applying a randomized transmission batch with heavy receiver collisions."""
+    rng = make_rng(19)
+    knowledge = KnowledgeMatrix(graph.n)
+    senders = rng.integers(0, graph.n, 2 * graph.n)
+    receivers = rng.integers(0, graph.n // 2, 2 * graph.n)
+
+    benchmark(lambda: knowledge.apply_transmissions(senders, receivers))
+    assert knowledge.total_known() >= graph.n

@@ -13,6 +13,39 @@ Quick start::
     graph = erdos_renyi(1024, expected_degree=100, rng=1, require_connected=True)
     result = FastGossiping().run(graph, rng=2)
     print(result.completed, result.messages_per_node())
+
+Performance notes
+-----------------
+The simulation kernel is fully vectorized: no per-node, per-transmission or
+per-walk Python loop survives on the per-round hot path.
+
+* Knowledge updates (:meth:`repro.engine.KnowledgeMatrix.apply_transmissions`
+  / ``apply_exchange``) cost ``O(channels * words)`` word operations per
+  round (``words = ceil(n_messages / 64)``) instead of ``O(n)`` Python
+  iterations: transmissions are applied either through one compiled
+  scatter-OR pass (see below) or through a sort-by-receiver layered NumPy
+  scatter whose layer count is the maximum in-degree, not the channel count.
+  Start-of-step snapshot semantics are preserved by gathering sender rows
+  (or filling a reusable double buffer) before the first write — never by
+  copying the full matrix per round.
+* Completion checking is incremental
+  (:class:`repro.core.completion.CompletionTracker`): per-node missing-bit
+  deficits are recounted only for rows touched in the round, making the
+  every-round check ``O(receivers * words)`` with an ``O(1)`` verdict, and
+  saturated rows are dropped from the transmission batch outright
+  (bit-exact), so late rounds cost ``O(incomplete nodes)``.
+* Random-walk queues (:class:`repro.core.WalkPool`) live in flat arrays:
+  deliveries merge payloads by destination in one vectorised pass and each
+  forwarding step pops the oldest walk per host with a single lexsort.
+* When a C compiler is available, :mod:`repro.engine._ckernel` compiles a
+  tiny scatter-OR / popcount library at first import (cached per machine)
+  that the kernels dispatch to automatically; set ``REPRO_DISABLE_CKERNEL=1``
+  to force the pure-NumPy fallback, which is semantically identical.
+
+Run ``PYTHONPATH=src python scripts/run_benchmarks.py`` to reproduce the
+committed ``BENCH_kernel.json`` baseline (full protocol runs plus raw kernel
+micro-timings at n in {1000, 5000, 20000}); performance PRs should rerun it
+and extend the perf trajectory.
 """
 
 from .core import (

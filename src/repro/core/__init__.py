@@ -1,6 +1,11 @@
 """The paper's gossiping algorithms and their parameters."""
 
-from .completion import alive_message_mask, gossip_complete, missing_pairs
+from .completion import (
+    CompletionTracker,
+    alive_message_mask,
+    gossip_complete,
+    missing_pairs,
+)
 from .fast_gossiping import FastGossiping
 from .leader_election import LeaderElection, LeaderElectionResult
 from .memory_gossiping import CommunicationTree, MemoryGossiping
@@ -24,6 +29,7 @@ from .random_walks import WalkPool, start_walks
 from .results import GossipResult
 
 __all__ = [
+    "CompletionTracker",
     "alive_message_mask",
     "gossip_complete",
     "missing_pairs",

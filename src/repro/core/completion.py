@@ -13,9 +13,15 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine import _ckernel
 from ..engine.knowledge import WORD_BITS, KnowledgeMatrix
 
-__all__ = ["alive_message_mask", "gossip_complete", "missing_pairs"]
+__all__ = [
+    "CompletionTracker",
+    "alive_message_mask",
+    "gossip_complete",
+    "missing_pairs",
+]
 
 
 def alive_message_mask(knowledge: KnowledgeMatrix, alive_nodes: np.ndarray) -> np.ndarray:
@@ -51,6 +57,130 @@ def gossip_complete(
     mask = alive_message_mask(knowledge, alive_nodes)
     rows = knowledge.data[alive_nodes]
     return bool(np.all((rows & mask) == mask))
+
+
+class CompletionTracker:
+    """Incrementally maintained gossiping-completion predicate.
+
+    ``gossip_complete`` rescans the entire ``n x words`` matrix, which makes
+    an every-round completion check ``O(n^2 / 64)``.  This tracker instead
+    maintains the per-node *deficit* — the number of required messages a node
+    does not yet know — and only recounts the rows actually touched during a
+    round (the unique receivers returned by
+    :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_transmissions`).
+    The per-round cost is therefore ``O(receivers * words)`` and the verdict
+    itself is ``O(1)``.
+
+    The tracker answers exactly the same question as
+    ``gossip_complete(knowledge, alive_nodes)``: with ``alive_nodes`` given,
+    completion means every alive node knows every alive node's original
+    message; without it, every node must know every message.
+
+    Parameters
+    ----------
+    knowledge:
+        The knowledge state to track.  The tracker reads the live matrix, so
+        it must be told about every mutation via :meth:`update`.
+    alive_nodes:
+        Optional array of healthy nodes (the robustness setting).
+    """
+
+    __slots__ = ("knowledge", "mask", "deficits", "incomplete", "_complete", "_relevant")
+
+    def __init__(
+        self, knowledge: KnowledgeMatrix, alive_nodes: Optional[np.ndarray] = None
+    ) -> None:
+        self.knowledge = knowledge
+        if alive_nodes is None or alive_nodes.size == knowledge.n_nodes:
+            self.mask = knowledge.full_row_mask()
+            self._relevant = None
+            deficits = self._recount(np.arange(knowledge.n_nodes, dtype=np.int64))
+            complete = deficits == 0
+        else:
+            alive_nodes = np.asarray(alive_nodes, dtype=np.int64)
+            self.mask = alive_message_mask(knowledge, alive_nodes)
+            self._relevant = np.zeros(knowledge.n_nodes, dtype=bool)
+            self._relevant[alive_nodes] = True
+            deficits = np.zeros(knowledge.n_nodes, dtype=np.int64)
+            deficits[alive_nodes] = self._recount(alive_nodes)
+            # Only relevant (alive) nodes count as saturated: transmissions
+            # touching irrelevant endpoints are never short-circuited, so the
+            # filter stays exact even for them.
+            complete = np.zeros(knowledge.n_nodes, dtype=bool)
+            complete[alive_nodes] = deficits[alive_nodes] == 0
+        self.deficits = deficits
+        self._complete = complete
+        # Irrelevant (dead) rows carry a zero deficit, so this counts exactly
+        # the incomplete relevant nodes in both branches.
+        self.incomplete = int(np.count_nonzero(deficits))
+
+    def update(self, touched: np.ndarray) -> None:
+        """Recount the deficits of the rows mutated since the last update.
+
+        ``touched`` may contain duplicates; they are deduplicated here with a
+        cheap boolean scatter (no sort).
+        """
+        touched = np.asarray(touched, dtype=np.int64)
+        if touched.size == 0:
+            return
+        # Deduplicate and drop rows that were already complete (knowledge
+        # only grows, so a zero deficit can never come back) or irrelevant.
+        dirty = np.zeros(self.knowledge.n_nodes, dtype=bool)
+        dirty[touched] = True
+        dirty &= self.deficits > 0
+        rows = np.flatnonzero(dirty)
+        if rows.size == 0:
+            return
+        fresh = self._recount(rows)
+        self.deficits[rows] = fresh
+        done = fresh == 0
+        if done.any():
+            self._complete[rows[done]] = True
+            # Irrelevant rows always carry a zero deficit, so this scan
+            # counts exactly the incomplete relevant nodes.
+            self.incomplete = int(np.count_nonzero(self.deficits))
+
+    def _recount(self, rows: np.ndarray) -> np.ndarray:
+        """Missing-bit counts (``popcount(mask & ~row)``) for the given rows."""
+        if _ckernel.available():
+            # Fused mask-and-popcount over the listed rows, no gather.
+            return _ckernel.recount_deficits(self.knowledge.data, self.mask, rows)
+        return np.bitwise_count(
+            self.mask[None, :] & ~self.knowledge.data[rows]
+        ).sum(axis=1, dtype=np.int64)
+
+    @property
+    def complete_rows(self) -> np.ndarray:
+        """Boolean per-node mask of saturated rows (live view, do not mutate).
+
+        Passed to :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_exchange`
+        as its ``complete`` argument so the kernel can drop no-op
+        transmissions and short-circuit saturating ones.  Irrelevant (dead)
+        nodes are never marked, keeping the filter exact for them.
+        """
+        return self._complete
+
+    def mark_promoted(self, promoted: np.ndarray) -> None:
+        """Record rows the kernel saturated directly (set to ``mask``).
+
+        The row data was already written by ``apply_exchange``; this only
+        updates the tracker's bookkeeping.  ``promoted`` rows are guaranteed
+        to have been incomplete (saturated receivers are dropped from the
+        batch before promotion).
+        """
+        if promoted.size == 0:
+            return
+        self.deficits[promoted] = 0
+        self._complete[promoted] = True
+        self.incomplete -= int(promoted.size)
+
+    def is_complete(self) -> bool:
+        """True when every relevant node knows every relevant message."""
+        return self.incomplete == 0
+
+    def missing_pairs(self) -> int:
+        """Number of (relevant node, relevant message) pairs still missing."""
+        return int(self.deficits.sum())
 
 
 def missing_pairs(

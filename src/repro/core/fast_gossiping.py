@@ -33,7 +33,7 @@ from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState
 from ..engine.trace import SpreadingTrace
 from ..graphs.adjacency import Adjacency
-from .completion import gossip_complete
+from .completion import CompletionTracker
 from .parameters import FastGossipingParameters, FastGossipingSchedule, tuned_fast_gossiping
 from .protocol import GossipProtocol
 from .random_walks import start_walks
@@ -124,8 +124,7 @@ class FastGossiping(GossipProtocol):
         for _ in range(schedule.distribution_steps):
             channels = open_channels(graph, rng, participants=alive_nodes, alive=alive_mask)
             ledger.record_opens(alive_nodes)
-            snapshot = knowledge.snapshot()
-            knowledge.apply_transmissions(channels.callers, channels.targets, snapshot)
+            knowledge.apply_transmissions(channels.callers, channels.targets)
             ledger.record_pushes(channels.callers)
             ledger.end_round()
             trace.record(ledger.rounds - 1, "phase1-distribution", knowledge)
@@ -192,8 +191,7 @@ class FastGossiping(GossipProtocol):
                 if alive_mask is not None:
                     ok &= np.where(destinations >= 0, alive_mask[np.clip(destinations, 0, None)], False)
                 ledger.record_opens(senders)
-                snapshot = knowledge.snapshot()
-                knowledge.apply_transmissions(senders[ok], destinations[ok], snapshot)
+                knowledge.apply_transmissions(senders[ok], destinations[ok])
                 ledger.record_pushes(senders)
                 active[destinations[ok]] = True
                 ledger.end_round()
@@ -217,25 +215,30 @@ class FastGossiping(GossipProtocol):
         alive_nodes: np.ndarray,
     ) -> bool:
         ledger.begin_phase("phase3-broadcast")
-        completed = gossip_complete(knowledge, alive_nodes)
+        tracker = CompletionTracker(knowledge, alive_nodes)
+        completed = tracker.is_complete()
         steps = 0
-        limit = max(schedule.finish_steps, 1)
         while not completed and steps < schedule.max_extra_rounds:
             channels = open_channels(graph, rng, participants=alive_nodes, alive=alive_mask)
             ledger.record_opens(alive_nodes)
-            snapshot = knowledge.snapshot()
-            knowledge.apply_transmissions(channels.callers, channels.targets, snapshot)
+            # One synchronous exchange: push and pull both read start-of-step
+            # state inside the kernel, and saturated rows are filtered out of
+            # the batch (bit-exact).
+            touched, promoted = knowledge.apply_exchange(
+                channels.callers,
+                channels.targets,
+                complete=tracker.complete_rows,
+                complete_row=tracker.mask,
+            )
             ledger.record_pushes(channels.callers)
-            knowledge.apply_transmissions(channels.targets, channels.callers, snapshot)
             ledger.record_pulls(channels.targets)
             ledger.end_round()
             trace.record(ledger.rounds - 1, "phase3-broadcast", knowledge)
             steps += 1
-            # Checking completion is itself O(n^2 / 64); only do it once the
-            # nominal phase length has elapsed or periodically afterwards.
-            if steps >= limit or steps % 2 == 0:
-                completed = gossip_complete(knowledge, alive_nodes)
-        if not completed:
-            completed = gossip_complete(knowledge, alive_nodes)
+            # The incremental tracker recounts only the rows touched this
+            # round, so completion is checked after every step.
+            tracker.update(touched)
+            tracker.mark_promoted(promoted)
+            completed = tracker.is_complete()
         ledger.end_phase()
         return completed

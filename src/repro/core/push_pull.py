@@ -21,7 +21,7 @@ from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState
 from ..engine.trace import SpreadingTrace
 from ..graphs.adjacency import Adjacency
-from .completion import gossip_complete
+from .completion import CompletionTracker
 from .parameters import PushPullParameters
 from .protocol import GossipProtocol
 from .results import GossipResult
@@ -66,6 +66,7 @@ class PushPullGossip(GossipProtocol):
         ledger.begin_phase("push-pull")
 
         max_rounds = self.params.max_rounds(graph.n)
+        tracker = CompletionTracker(knowledge, alive_nodes)
         completed = False
         for round_index in range(max_rounds):
             channels = open_channels(graph, generator, participants=alive_nodes, alive=alive)
@@ -73,18 +74,26 @@ class PushPullGossip(GossipProtocol):
             # be failed; count the open per participant.
             ledger.record_opens(alive_nodes)
 
-            snapshot = knowledge.snapshot()
-            # Push direction: caller -> callee.
-            knowledge.apply_transmissions(channels.callers, channels.targets, snapshot)
+            # One synchronous exchange: push (caller -> callee) and pull
+            # (callee -> caller) both read start-of-step state inside the
+            # kernel, which also drops transmissions into saturated rows and
+            # short-circuits those from saturated senders (bit-exact), so the
+            # per-round cost shrinks with the number of incomplete nodes.
+            touched, promoted = knowledge.apply_exchange(
+                channels.callers,
+                channels.targets,
+                complete=tracker.complete_rows,
+                complete_row=tracker.mask,
+            )
             ledger.record_pushes(channels.callers)
-            # Pull direction: callee -> caller (one packet per incoming channel).
-            knowledge.apply_transmissions(channels.targets, channels.callers, snapshot)
             ledger.record_pulls(channels.targets)
 
             ledger.end_round()
             trace.record(round_index, "push-pull", knowledge)
 
-            if gossip_complete(knowledge, alive_nodes):
+            tracker.update(touched)
+            tracker.mark_promoted(promoted)
+            if tracker.is_complete():
                 completed = True
                 break
 

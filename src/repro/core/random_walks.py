@@ -9,24 +9,36 @@ forward is a *move*; walks are refused from queues once they exceed a move cap
 (``c_moves * log n``), which the paper uses to keep walks well mixed.
 
 The :class:`WalkPool` below stores all walks of one round in flat NumPy arrays
-(payload bitsets, move counters, hosting queue) and exposes the three
-operations the protocol needs: delivery of in-transit walks, one forwarding
-step, and the set of nodes that currently hold walks.
+(payload bitsets, move counters, per-walk host assignment and FIFO sequence
+numbers) and exposes the three operations the protocol needs: delivery of
+in-transit walks, one forwarding step, and the set of nodes that currently
+hold walks.  All three are fully vectorised: deliveries are grouped by
+destination with a stable sort and merged via ``np.bitwise_or.reduceat``, and
+the oldest-walk-per-host selection of a forwarding step is a ``lexsort`` over
+``(host, sequence)`` followed by a boundary pick — no per-walk Python loop
+survives on the hot path.
+
+Synchronous semantics: all walks delivered in the same step read the
+destination node's *start-of-delivery* knowledge and the node accumulates the
+union of every arriving payload (snapshot-read / live-write, the same
+discipline as :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_transmissions`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from ..engine import _ckernel
 from ..engine.knowledge import KnowledgeMatrix
 from ..engine.metrics import TransmissionLedger
 from ..graphs.adjacency import Adjacency
 
 __all__ = ["WalkPool", "start_walks"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
 
 
 class WalkPool:
@@ -41,16 +53,24 @@ class WalkPool:
     """
 
     def __init__(self, payloads: np.ndarray, move_cap: int) -> None:
-        self.payloads = np.asarray(payloads, dtype=np.uint64)
+        self.payloads = np.ascontiguousarray(payloads, dtype=np.uint64)
         if self.payloads.ndim != 2:
             raise ValueError("payloads must be a 2-D array of packed words")
         self.move_cap = int(move_cap)
         self.num_walks = int(self.payloads.shape[0])
         self.moves = np.zeros(self.num_walks, dtype=np.int64)
-        #: FIFO queue of walk identifiers per node.
-        self.queues: Dict[int, Deque[int]] = {}
-        #: Walks currently travelling: list of (walk_id, destination).
-        self.in_transit: List[Tuple[int, int]] = []
+        #: Hosting node per walk (-1 while in transit or retired).
+        self._host = np.full(self.num_walks, -1, dtype=np.int64)
+        #: FIFO position per walk: smaller = enqueued earlier.
+        self._seq = np.zeros(self.num_walks, dtype=np.int64)
+        self._next_seq = 0
+        #: Maintained counter of queued walks (keeps ``queued_walks`` O(1)).
+        self._queued = 0
+        #: Number of forwarding steps performed (bounds every move counter).
+        self._forward_steps = 0
+        #: Walks currently travelling, as aligned (walk id, destination) arrays.
+        self._transit_ids = _EMPTY
+        self._transit_dests = _EMPTY
         #: Walks dropped because they exceeded the move cap.
         self.retired: List[int] = []
         #: Total number of walk moves performed (for diagnostics).
@@ -60,28 +80,59 @@ class WalkPool:
     # State queries
     # ------------------------------------------------------------------ #
     def nodes_with_walks(self) -> np.ndarray:
-        """Nodes whose queue currently holds at least one walk."""
-        hosts = [node for node, queue in self.queues.items() if queue]
-        return np.asarray(sorted(hosts), dtype=np.int64)
+        """Nodes whose queue currently holds at least one walk (sorted)."""
+        hosts = self._host[self._host >= 0]
+        return np.unique(hosts)
 
     def queued_walks(self) -> int:
-        """Total number of queued walks."""
-        return sum(len(q) for q in self.queues.values())
+        """Total number of queued walks (O(1): a maintained counter)."""
+        return self._queued
 
     def walks_in_transit(self) -> int:
         """Number of walks currently travelling to their next host."""
-        return len(self.in_transit)
+        return int(self._transit_ids.size)
 
     def is_idle(self) -> bool:
         """True when no walk is queued or in transit."""
-        return self.queued_walks() == 0 and not self.in_transit
+        return self._queued == 0 and self._transit_ids.size == 0
+
+    @property
+    def in_transit(self) -> List[tuple]:
+        """In-transit walks as (walk id, destination) pairs (a copy)."""
+        return list(zip(self._transit_ids.tolist(), self._transit_dests.tolist()))
+
+    @property
+    def queues(self) -> Dict[int, Deque[int]]:
+        """Per-node FIFO queues, materialised from the flat arrays (a copy).
+
+        Only intended for inspection and tests; the hot path works on the
+        flat ``host``/``sequence`` arrays directly.
+        """
+        queued = np.flatnonzero(self._host >= 0)
+        order = np.lexsort((self._seq[queued], self._host[queued]))
+        result: Dict[int, Deque[int]] = {}
+        for walk_id in queued[order].tolist():
+            result.setdefault(int(self._host[walk_id]), deque()).append(walk_id)
+        return result
 
     # ------------------------------------------------------------------ #
     # Protocol operations
     # ------------------------------------------------------------------ #
     def send(self, walk_id: int, destination: int) -> None:
-        """Put a walk in transit towards ``destination``."""
-        self.in_transit.append((int(walk_id), int(destination)))
+        """Put a single walk in transit towards ``destination``."""
+        self.send_many(
+            np.asarray([walk_id], dtype=np.int64),
+            np.asarray([destination], dtype=np.int64),
+        )
+
+    def send_many(self, walk_ids: np.ndarray, destinations: np.ndarray) -> None:
+        """Put a batch of walks in transit (aligned id/destination arrays)."""
+        walk_ids = np.asarray(walk_ids, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if walk_ids.size == 0:
+            return
+        self._transit_ids = np.concatenate([self._transit_ids, walk_ids])
+        self._transit_dests = np.concatenate([self._transit_dests, destinations])
 
     def deliver(self, knowledge: KnowledgeMatrix) -> None:
         """Deliver all in-transit walks to their destinations.
@@ -92,17 +143,62 @@ class WalkPool:
         appended to ``v``'s queue.  Walks over the cap are retired without
         touching the node's state, exactly as in the pseudocode, which skips
         them entirely.
+
+        All arrivals of one call are synchronous: each walk merges with the
+        node's start-of-delivery knowledge, and the node accumulates the union
+        of every arriving payload.  Arrivals are grouped by destination with a
+        stable sort, so the node-side union is one ``bitwise_or.reduceat``
+        segment reduction and each destination row is written exactly once.
         """
-        arrivals = self.in_transit
-        self.in_transit = []
-        for walk_id, destination in arrivals:
-            if self.moves[walk_id] > self.move_cap:
-                self.retired.append(walk_id)
-                continue
-            node_row = knowledge.row(destination)
-            self.payloads[walk_id] |= node_row
-            knowledge.union_into(destination, self.payloads[walk_id])
-            self.queues.setdefault(destination, deque()).append(walk_id)
+        walk_ids = self._transit_ids
+        dests = self._transit_dests
+        self._transit_ids = _EMPTY
+        self._transit_dests = _EMPTY
+        if walk_ids.size == 0:
+            return
+        if self._forward_steps > self.move_cap:
+            # A walk's move count is bounded by the number of forwarding
+            # steps performed so far, so the cap check is skipped entirely
+            # while it cannot possibly trigger.
+            over = self.moves[walk_ids] > self.move_cap
+            if over.any():
+                self.retired.extend(walk_ids[over].tolist())
+                walk_ids = walk_ids[~over]
+                dests = dests[~over]
+        if walk_ids.size == 0:
+            return
+        if _ckernel.available():
+            # Gather (copy) the destination rows first: the start-of-delivery
+            # snapshot every arriving walk merges with.  Payload rows are
+            # disjoint storage from the knowledge matrix, so the node-side
+            # union is one order-independent C scatter (no sort needed), and
+            # the walk-side union reads the pre-delivery node rows.
+            node_rows = knowledge.data[dests]
+            _ckernel.scatter_or(
+                knowledge.data,
+                self.payloads,
+                np.ascontiguousarray(walk_ids),
+                np.ascontiguousarray(dests),
+            )
+            self.payloads[walk_ids] |= node_rows
+        else:
+            order = np.argsort(dests, kind="stable")
+            w_sorted = walk_ids[order]
+            d_sorted = dests[order]
+            boundaries = np.flatnonzero(np.r_[True, d_sorted[1:] != d_sorted[:-1]])
+            unique_dests = d_sorted[boundaries]
+            node_rows = knowledge.data[unique_dests]
+            merged = np.bitwise_or.reduceat(
+                self.payloads[w_sorted], boundaries, axis=0
+            )
+            knowledge.data[unique_dests] |= merged
+            segment_sizes = np.diff(np.r_[boundaries, d_sorted.size])
+            self.payloads[w_sorted] |= np.repeat(node_rows, segment_sizes, axis=0)
+        # Enqueue in arrival order (FIFO per destination).
+        self._host[walk_ids] = dests
+        self._seq[walk_ids] = self._next_seq + np.arange(walk_ids.size)
+        self._next_seq += int(walk_ids.size)
+        self._queued += int(walk_ids.size)
 
     def forward_step(
         self,
@@ -117,36 +213,53 @@ class WalkPool:
         Returns the number of walks forwarded.  Each forward costs the hosting
         node one channel open and one push packet.
         """
-        hosts = self.nodes_with_walks()
-        if alive is not None and hosts.size:
-            hosts = hosts[alive[hosts]]
-        if hosts.size == 0:
+        self._forward_steps += 1
+        queued = np.flatnonzero(self._host >= 0)
+        if queued.size == 0:
             return 0
+        # Oldest queued walk per host: one sort of all queued walks by
+        # (host, FIFO sequence); the first entry of every host segment is
+        # both the host list (sorted, unique) and its head walk.
+        order = np.lexsort((self._seq[queued], self._host[queued]))
+        q_sorted = queued[order]
+        h_sorted = self._host[q_sorted]
+        firsts = np.empty(h_sorted.size, dtype=bool)
+        firsts[0] = True
+        np.not_equal(h_sorted[1:], h_sorted[:-1], out=firsts[1:])
+        head_walks = q_sorted[firsts]
+        hosts = h_sorted[firsts]
+        if alive is not None:
+            healthy = alive[hosts]
+            hosts = hosts[healthy]
+            head_walks = head_walks[healthy]
+            if hosts.size == 0:
+                return 0
         destinations = graph.sample_neighbors(hosts, rng)
-        forwarded = 0
-        senders: List[int] = []
-        for host, destination in zip(hosts.tolist(), destinations.tolist()):
-            if destination < 0:
-                continue
-            if alive is not None and not alive[destination]:
-                # The channel is opened but the failed callee never stores the
-                # walk: the walk is lost (crash semantics).
-                walk_id = self.queues[host].popleft()
-                self.retired.append(walk_id)
-                senders.append(host)
-                forwarded += 1
-                continue
-            walk_id = self.queues[host].popleft()
-            self.moves[walk_id] += 1
-            self.total_moves += 1
-            self.send(walk_id, destination)
-            senders.append(host)
-            forwarded += 1
-        if senders:
-            sender_arr = np.asarray(senders, dtype=np.int64)
-            ledger.record_opens(sender_arr)
-            ledger.record_pushes(sender_arr)
-        return forwarded
+        valid = destinations >= 0
+        if not valid.all():
+            hosts = hosts[valid]
+            destinations = destinations[valid]
+            head_walks = head_walks[valid]
+            if hosts.size == 0:
+                return 0
+        popped = head_walks
+        self._host[popped] = -1
+        self._queued -= int(popped.size)
+        if alive is not None:
+            dead = ~alive[destinations]
+        else:
+            dead = np.zeros(hosts.size, dtype=bool)
+        if dead.any():
+            # The channel is opened but the failed callee never stores the
+            # walk: the walk is lost (crash semantics).
+            self.retired.extend(popped[dead].tolist())
+        live_walks = popped[~dead]
+        self.moves[live_walks] += 1
+        self.total_moves += int(live_walks.size)
+        self.send_many(live_walks, destinations[~dead])
+        ledger.record_opens(hosts)
+        ledger.record_pushes(hosts)
+        return int(hosts.size)
 
 
 def start_walks(
@@ -185,8 +298,7 @@ def start_walks(
         ledger.record_pushes(starters)
     starters_ok = starters[ok]
     destinations_ok = destinations[ok]
-    payloads = knowledge.data[starters_ok].copy()
+    payloads = knowledge.data[starters_ok]
     pool = WalkPool(payloads, move_cap)
-    for walk_id, destination in enumerate(destinations_ok.tolist()):
-        pool.send(walk_id, destination)
+    pool.send_many(np.arange(destinations_ok.size, dtype=np.int64), destinations_ok)
     return pool

@@ -1,0 +1,297 @@
+"""Optional compiled kernels for the packed-bitset hot path.
+
+NumPy's fancy-indexing machinery moves every gathered row through fresh
+temporaries, which caps the gossip kernel's throughput well below what the
+hardware allows.  The two primitives below — a sequential scatter-OR of
+snapshot rows into live rows, and a fused mask-and-popcount deficit recount —
+are tiny, allocation-free C loops, so this module compiles them once per
+machine with the system C compiler and loads them through :mod:`ctypes`.
+
+The build is strictly best-effort: if no compiler is present, the build
+fails, or ``REPRO_DISABLE_CKERNEL`` is set in the environment, callers fall
+back to the pure-NumPy implementations (which are semantically identical —
+see ``tests/engine/test_kernel_equivalence.py``).  The shared library is
+cached in a private per-user directory keyed on source hash and CPU
+signature, so repeated imports pay nothing and heterogeneous machines
+sharing a filesystem never load each other's ``-march=native`` binaries.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "available",
+    "exchange",
+    "push_round",
+    "recount_deficits",
+    "scatter_or",
+]
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Full synchronous push-pull exchange: snapshot the matrix into `scratch`,
+ * then for every channel (callers[i], targets[i]) OR each endpoint's
+ * snapshot row into the other endpoint's live row. */
+void repro_exchange(uint64_t *data, uint64_t *scratch,
+                    const int64_t *callers, const int64_t *targets,
+                    int64_t k, int64_t n, int64_t words) {
+    memcpy(scratch, data, (size_t)n * (size_t)words * sizeof(uint64_t));
+    for (int64_t i = 0; i < k; i++) {
+        uint64_t *dc = data + callers[i] * words;
+        uint64_t *dt = data + targets[i] * words;
+        const uint64_t *sc = scratch + callers[i] * words;
+        const uint64_t *st = scratch + targets[i] * words;
+        for (int64_t w = 0; w < words; w++) {
+            dc[w] |= st[w];
+            dt[w] |= sc[w];
+        }
+    }
+}
+
+/* One-directional variant: snapshot, then OR snapshot[src[i]] into
+ * data[dst[i]] for every transmission. */
+void repro_push_round(uint64_t *data, uint64_t *scratch,
+                      const int64_t *src, const int64_t *dst,
+                      int64_t k, int64_t n, int64_t words) {
+    memcpy(scratch, data, (size_t)n * (size_t)words * sizeof(uint64_t));
+    for (int64_t i = 0; i < k; i++) {
+        uint64_t *d = data + dst[i] * words;
+        const uint64_t *s = scratch + src[i] * words;
+        for (int64_t w = 0; w < words; w++) {
+            d[w] |= s[w];
+        }
+    }
+}
+
+/* OR source[src[i]] into data[dst[i]] for all i.  `source` must be a
+ * start-of-step snapshot (disjoint storage from `data`), which makes the
+ * result independent of processing order even with duplicate receivers. */
+void repro_scatter_or(uint64_t *data, const uint64_t *source,
+                      const int64_t *src, const int64_t *dst,
+                      int64_t k, int64_t words) {
+    for (int64_t i = 0; i < k; i++) {
+        uint64_t *d = data + dst[i] * words;
+        const uint64_t *s = source + src[i] * words;
+        for (int64_t w = 0; w < words; w++) {
+            d[w] |= s[w];
+        }
+    }
+}
+
+/* deficits[i] = popcount(mask & ~data[rows[i]]) — the number of required
+ * message bits still missing from each listed row. */
+void repro_recount(const uint64_t *data, const uint64_t *mask,
+                   const int64_t *rows, int64_t k, int64_t words,
+                   int64_t *deficits) {
+    for (int64_t i = 0; i < k; i++) {
+        const uint64_t *d = data + rows[i] * words;
+        int64_t missing = 0;
+        for (int64_t w = 0; w < words; w++) {
+            missing += __builtin_popcountll(mask[w] & ~d[w]);
+        }
+        deficits[i] = missing;
+    }
+}
+"""
+
+
+def _cpu_signature() -> str:
+    """A machine identifier for the cache key.
+
+    The library is compiled with ``-march=native``, so a cache shared across
+    heterogeneous CPUs (e.g. TMPDIR or HOME on a cluster filesystem) must
+    not serve a binary built for a different microarchitecture.  The CPU
+    feature flags are the closest portable proxy.
+    """
+    parts = [platform.machine()]
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith(("flags", "Features")):
+                    parts.append(line)
+                    break
+    except OSError:
+        parts.append(platform.processor())
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:8]
+
+
+def _cache_dir(digest: str) -> Optional[str]:
+    """A private, user-owned directory to build and load the library from.
+
+    ``ctypes.CDLL`` executes code from the returned path, so it must not be
+    attacker-preparable: prefer ``~/.cache``, fall back to a per-user temp
+    directory, create it ``0700``, and refuse paths not owned by us or
+    writable by others.
+    """
+    try:
+        user = getpass.getuser()
+    except Exception:  # pragma: no cover - exotic environments
+        user = f"uid{os.getuid()}" if hasattr(os, "getuid") else "unknown"
+    home_cache = os.path.join(os.path.expanduser("~"), ".cache")
+    base = home_cache if os.path.isdir(home_cache) else tempfile.gettempdir()
+    cache_dir = os.path.join(base, f"repro-ckernel-{user}-{digest}")
+    try:
+        os.makedirs(cache_dir, mode=0o700, exist_ok=True)
+        if hasattr(os, "getuid"):
+            st = os.stat(cache_dir)
+            if st.st_uid != os.getuid() or (st.st_mode & 0o022):
+                return None
+    except OSError:
+        return None
+    return cache_dir
+
+
+def _build() -> Optional[ctypes.CDLL]:
+    if os.environ.get("REPRO_DISABLE_CKERNEL"):
+        return None
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = _cache_dir(f"{digest}-{_cpu_signature()}")
+    if cache_dir is None:
+        return None
+    lib_path = os.path.join(cache_dir, "libreprokernel.so")
+    try:
+        if not os.path.exists(lib_path):
+            src_path = os.path.join(cache_dir, "kernel.c")
+            with open(src_path, "w") as fh:
+                fh.write(_SOURCE)
+            tmp_path = lib_path + f".tmp{os.getpid()}"
+            subprocess.run(
+                [
+                    compiler,
+                    "-O3",
+                    "-march=native",
+                    "-shared",
+                    "-fPIC",
+                    src_path,
+                    "-o",
+                    tmp_path,
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, lib_path)
+        lib = ctypes.CDLL(lib_path)
+    except Exception:
+        return None
+    u64p = ctypes.POINTER(ctypes.c_uint64)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    i64 = ctypes.c_int64
+    lib.repro_scatter_or.argtypes = [u64p, u64p, i64p, i64p, i64, i64]
+    lib.repro_scatter_or.restype = None
+    lib.repro_recount.argtypes = [u64p, u64p, i64p, i64, i64, i64p]
+    lib.repro_recount.restype = None
+    lib.repro_exchange.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64]
+    lib.repro_exchange.restype = None
+    lib.repro_push_round.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64]
+    lib.repro_push_round.restype = None
+    return lib
+
+
+_LIB = _build()
+
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+_I64P = ctypes.POINTER(ctypes.c_int64)
+
+
+def available() -> bool:
+    """Whether the compiled kernels are usable on this machine."""
+    return _LIB is not None
+
+
+def _u64(arr: np.ndarray):
+    return arr.ctypes.data_as(_U64P)
+
+
+def _i64(arr: np.ndarray):
+    return arr.ctypes.data_as(_I64P)
+
+
+def scatter_or(
+    data: np.ndarray,
+    source: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+) -> None:
+    """OR ``source[senders[i]]`` into ``data[receivers[i]]`` for all ``i``.
+
+    ``source`` must not share storage with the written rows of ``data`` (it
+    is the start-of-step snapshot), all arrays must be C-contiguous, and the
+    index arrays must be ``int64``.
+    """
+    _LIB.repro_scatter_or(
+        _u64(data),
+        _u64(source),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        ctypes.c_int64(data.shape[1]),
+    )
+
+
+def exchange(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    callers: np.ndarray,
+    targets: np.ndarray,
+) -> None:
+    """Snapshot ``data`` into ``scratch`` and apply one push-pull round."""
+    _LIB.repro_exchange(
+        _u64(data),
+        _u64(scratch),
+        _i64(callers),
+        _i64(targets),
+        ctypes.c_int64(callers.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+    )
+
+
+def push_round(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+) -> None:
+    """Snapshot ``data`` into ``scratch`` and apply one push-only round."""
+    _LIB.repro_push_round(
+        _u64(data),
+        _u64(scratch),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+    )
+
+
+def recount_deficits(
+    data: np.ndarray, mask: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Per-row count of bits in ``mask`` missing from ``data[rows]``."""
+    deficits = np.empty(rows.size, dtype=np.int64)
+    _LIB.repro_recount(
+        _u64(data),
+        _u64(mask),
+        _i64(rows),
+        ctypes.c_int64(rows.size),
+        ctypes.c_int64(data.shape[1]),
+        _i64(deficits),
+    )
+    return deficits

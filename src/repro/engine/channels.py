@@ -38,13 +38,23 @@ class ChannelSet:
         ``targets[i]`` is the callee of ``callers[i]``.
     outgoing:
         Dense array of length ``n_nodes``: the callee of each node's outgoing
-        channel, or ``-1`` if the node opened no channel this step.
+        channel, or ``-1`` if the node opened no channel this step.  Built
+        lazily on first access — the per-round hot path only needs the
+        aligned ``callers``/``targets`` pair.
     """
 
     n_nodes: int
     callers: np.ndarray
     targets: np.ndarray
-    outgoing: np.ndarray
+    _outgoing: Optional[np.ndarray] = None
+
+    @property
+    def outgoing(self) -> np.ndarray:
+        if self._outgoing is None:
+            out = np.full(self.n_nodes, -1, dtype=np.int64)
+            out[self.callers] = self.targets
+            object.__setattr__(self, "_outgoing", out)
+        return self._outgoing
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -124,8 +134,4 @@ def open_channels(
         ok &= np.where(targets >= 0, alive[np.clip(targets, 0, None)], False)
     callers = participants[ok]
     callees = targets[ok]
-    outgoing = np.full(graph.n, -1, dtype=np.int64)
-    outgoing[callers] = callees
-    return ChannelSet(
-        n_nodes=graph.n, callers=callers, targets=callees, outgoing=outgoing
-    )
+    return ChannelSet(n_nodes=graph.n, callers=callers, targets=callees)

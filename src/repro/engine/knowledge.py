@@ -26,6 +26,8 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from . import _ckernel
+
 __all__ = ["KnowledgeMatrix", "SingleMessageState", "WORD_BITS"]
 
 #: Number of bits per storage word.
@@ -60,7 +62,7 @@ class KnowledgeMatrix:
     reading start-of-step state while writing end-of-step state.
     """
 
-    __slots__ = ("n_nodes", "n_messages", "words", "data")
+    __slots__ = ("n_nodes", "n_messages", "words", "data", "_scratch")
 
     def __init__(
         self,
@@ -79,6 +81,8 @@ class KnowledgeMatrix:
         self.n_messages = int(n_messages)
         self.words = _n_words(self.n_messages)
         self.data = np.zeros((self.n_nodes, self.words), dtype=_WORD_DTYPE)
+        #: Reusable double buffer for start-of-step snapshots (lazily built).
+        self._scratch: Optional[np.ndarray] = None
         if initialize_own:
             upto = min(self.n_nodes, self.n_messages)
             idx = np.arange(upto)
@@ -153,26 +157,223 @@ class KnowledgeMatrix:
         senders: np.ndarray,
         receivers: np.ndarray,
         snapshot: Optional[np.ndarray] = None,
-    ) -> None:
+    ) -> np.ndarray:
         """Apply a batch of directed transmissions ``senders[i] -> receivers[i]``.
 
-        All transmissions are evaluated against the same start-of-step
-        ``snapshot`` (taken implicitly if not supplied), so a message cannot
-        hop through several nodes within a single synchronous step.
+        All transmissions are evaluated against the same start-of-step state,
+        so a message cannot hop through several nodes within a single
+        synchronous step.  When ``snapshot`` is omitted the sender rows are
+        gathered (copied) from the live matrix *before* any write, which gives
+        the same snapshot semantics without copying the whole matrix — the
+        cost scales with the number of transmissions, not with ``n_nodes``.
+
+        Receivers may repeat (several incoming channels per node); the batch
+        is sorted by receiver and each receiver segment is merged with a
+        single ``bitwise_or.reduceat`` reduction, so every receiver row is
+        written exactly once.
+
+        Returns
+        -------
+        numpy.ndarray
+            Receiver identifiers whose rows were touched (possibly without
+            change).  The array may be unsorted and contain duplicates —
+            which code path produced it is platform-dependent — so treat it
+            as an unordered multiset; ``CompletionTracker.update``
+            deduplicates internally.
         """
         senders = np.asarray(senders, dtype=np.int64)
         receivers = np.asarray(receivers, dtype=np.int64)
         if senders.shape != receivers.shape:
             raise ValueError("senders and receivers must have identical shapes")
         if senders.size == 0:
-            return
-        source = self.snapshot() if snapshot is None else snapshot
-        # Receivers may repeat (several incoming channels); a Python loop over
-        # transmissions with vectorised row ORs is both correct and fast
-        # enough: each OR touches ``words`` contiguous uint64 values.
+            return np.zeros(0, dtype=np.int64)
+        if snapshot is None:
+            if _ckernel.available() and senders.size * 4 >= self.n_nodes:
+                # Fused snapshot + scatter in one compiled pass.
+                self._ensure_scratch()
+                _ckernel.push_round(
+                    self.data,
+                    self._scratch,
+                    np.ascontiguousarray(senders),
+                    np.ascontiguousarray(receivers),
+                )
+                return receivers
+            source, senders = self._snapshot_sources(senders)
+        else:
+            source = snapshot
+        return self._scatter_or(source, senders, receivers)
+
+    def _ensure_scratch(self) -> np.ndarray:
+        if self._scratch is None:
+            self._scratch = np.empty_like(self.data)
+        return self._scratch
+
+    def _snapshot_sources(
+        self, senders: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Start-of-step source rows for ``senders``, copied before any write.
+
+        Dense batches (most nodes sending) reuse a full double buffer filled
+        with one sequential ``copyto`` — far faster than a random row gather.
+        Sparse batches gather only the unique sender rows, so the snapshot
+        cost scales with the actual senders, not with ``n_nodes``.
+
+        Returns ``(source, indices)`` such that ``source[indices[i]]`` is
+        sender ``i``'s start-of-step row.
+        """
+        if senders.size * 4 >= self.n_nodes:
+            np.copyto(self._ensure_scratch(), self.data)
+            return self._scratch, senders
+        unique_senders, sender_pos = np.unique(senders, return_inverse=True)
+        return self.data[unique_senders], sender_pos
+
+    def _scatter_or(
+        self, source: np.ndarray, senders: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        """OR ``source[senders[i]]`` into row ``receivers[i]`` for all ``i``.
+
+        Receivers may repeat; the batch is sorted by receiver and resolved in
+        *layers*: layer ``k`` holds each receiver's ``k``-th incoming
+        transmission, so receivers are unique within a layer and each layer
+        is one vectorised gather-OR-scatter.  The number of layers is the
+        maximum in-degree (``O(log n / log log n)`` w.h.p.), not the number
+        of transmissions.  This outperforms ``bitwise_or.reduceat``, whose
+        generic inner loop is an order of magnitude slower than the
+        fancy-indexing fast path.
+
+        Returns the receivers whose rows were written (possibly with
+        duplicates on the compiled path; sorted unique on the NumPy path).
+        """
+        if _ckernel.available():
+            # The C loop applies transmissions sequentially; because
+            # ``source`` is snapshot storage disjoint from ``data``, the
+            # result is order-independent even with duplicate receivers, so
+            # no sorting or layering is needed at all.
+            _ckernel.scatter_or(
+                self.data,
+                np.ascontiguousarray(source),
+                np.ascontiguousarray(senders),
+                np.ascontiguousarray(receivers),
+            )
+            return receivers
+        order = np.argsort(receivers, kind="stable")
+        r_sorted = receivers[order]
+        s_sorted = senders[order]
+        first = np.r_[True, r_sorted[1:] != r_sorted[:-1]]
+        positions = np.arange(r_sorted.size)
+        starts = positions[first]
+        rank = positions - np.repeat(starts, np.diff(np.r_[starts, r_sorted.size]))
         data = self.data
-        for s, r in zip(senders.tolist(), receivers.tolist()):
-            data[r] |= source[s]
+        for k in range(int(rank.max()) + 1):
+            layer = rank == k
+            data[r_sorted[layer]] |= source[s_sorted[layer]]
+        return r_sorted[starts]
+
+    def apply_exchange(
+        self,
+        callers: np.ndarray,
+        targets: np.ndarray,
+        *,
+        complete: Optional[np.ndarray] = None,
+        complete_row: Optional[np.ndarray] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Apply one synchronous push–pull round: ``callers[i] <-> targets[i]``.
+
+        Both directions (push ``caller -> target`` and pull ``target ->
+        caller``) read the same start-of-step state.  ``callers`` must be
+        sorted and unique (the channel model: one outgoing channel per node);
+        targets may repeat.  The pull direction therefore has unique
+        receivers and is applied as a single aligned gather-OR — when every
+        node is a caller it degenerates to ``data |= source[targets]`` with
+        no index arrays at all — while the push direction goes through the
+        layered scatter.
+
+        When ``complete``/``complete_row`` are given (a boolean
+        saturated-row mask and the saturation target row, usually from
+        :class:`~repro.core.completion.CompletionTracker`), the exchange
+        additionally short-circuits saturation: transmissions into saturated
+        rows are dropped (no-ops) and receivers fed by a saturated sender are
+        directly assigned ``complete_row``.  This is bit-exact provided every
+        participating row is a subset of ``complete_row`` — true whenever
+        channels only ever connect alive nodes, because crashed nodes never
+        transmit and their messages never spread.
+
+        Returns
+        -------
+        (touched, promoted):
+            ``touched`` — receivers whose rows were OR-updated (may contain
+            duplicates: a node can receive in both directions);
+            ``promoted`` — sorted unique receivers directly saturated.  The
+            two sets are disjoint.
+        """
+        callers = np.asarray(callers, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if callers.shape != targets.shape:
+            raise ValueError("callers and targets must have identical shapes")
+        empty = np.zeros(0, dtype=np.int64)
+        if callers.size == 0:
+            return empty, empty
+        if complete is not None and not complete.any():
+            complete = None
+        if complete is None and _ckernel.available():
+            # Unfiltered round: one fused compiled pass (snapshot + both
+            # directions), no intermediate index arrays.
+            self._ensure_scratch()
+            _ckernel.exchange(
+                self.data,
+                self._scratch,
+                np.ascontiguousarray(callers),
+                np.ascontiguousarray(targets),
+            )
+            return np.concatenate([callers, targets]), empty
+        promoted = empty
+        if complete is not None:
+            keep_push = ~complete[targets]
+            keep_pull = ~complete[callers]
+            sat_push = keep_push & complete[callers]
+            sat_pull = keep_pull & complete[targets]
+            if sat_push.any() or sat_pull.any():
+                promoted = np.unique(
+                    np.concatenate([targets[sat_push], callers[sat_pull]])
+                )
+                is_promoted = np.zeros(self.n_nodes, dtype=bool)
+                is_promoted[promoted] = True
+                keep_push &= ~is_promoted[targets]
+                keep_pull &= ~is_promoted[callers]
+            push_s, push_r = callers[keep_push], targets[keep_push]
+            pull_s, pull_r = targets[keep_pull], callers[keep_pull]
+        else:
+            push_s, push_r = callers, targets
+            pull_s, pull_r = targets, callers
+        touched = empty
+        if push_r.size or pull_r.size:
+            n_push = push_s.size
+            source, remapped = self._snapshot_sources(
+                np.concatenate([push_s, pull_s])
+            )
+            push_s = remapped[:n_push]
+            pull_s = remapped[n_push:]
+            if _ckernel.available():
+                # One order-independent C pass over both directions.
+                touched = self._scatter_or(
+                    source,
+                    remapped,
+                    np.concatenate([push_r, pull_r]),
+                )
+            else:
+                if pull_r.size == self.n_nodes:
+                    # Sorted unique, full-length: pull_r is exactly arange(n).
+                    self.data |= source[pull_s]
+                elif pull_r.size:
+                    self.data[pull_r] |= source[pull_s]
+                if push_r.size:
+                    touched_push = self._scatter_or(source, push_s, push_r)
+                    touched = np.concatenate([pull_r, touched_push])
+                else:
+                    touched = pull_r
+        if promoted.size:
+            self.data[promoted] = complete_row
+        return touched, promoted
 
     # ------------------------------------------------------------------ #
     # Aggregate queries
@@ -240,6 +441,14 @@ class KnowledgeMatrix:
     def zero_row(self) -> np.ndarray:
         """A fresh all-zero row compatible with this matrix."""
         return np.zeros(self.words, dtype=_WORD_DTYPE)
+
+    def full_row_mask(self) -> np.ndarray:
+        """Packed row with every valid message bit set (the completion target)."""
+        mask = np.full(self.words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=_WORD_DTYPE)
+        rem = self.n_messages % WORD_BITS
+        if rem:
+            mask[-1] = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+        return mask
 
     def row_with(self, messages: Iterable[int]) -> np.ndarray:
         """A fresh row with exactly ``messages`` set."""

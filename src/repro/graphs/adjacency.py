@@ -39,7 +39,7 @@ class Adjacency:
     hand.
     """
 
-    __slots__ = ("n", "indptr", "indices", "degrees")
+    __slots__ = ("n", "indptr", "indices", "degrees", "has_isolated")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
@@ -50,6 +50,9 @@ class Adjacency:
             raise ValueError("inconsistent CSR structure")
         self.n = int(self.indptr.size - 1)
         self.degrees = np.diff(self.indptr)
+        #: Whether any node has degree zero (precomputed: neighbour sampling
+        #: takes a branch-free fast path when every node has neighbours).
+        self.has_isolated = bool(self.n) and bool((self.degrees == 0).any())
         if self.indices.size and (
             self.indices.min() < 0 or self.indices.max() >= self.n
         ):
@@ -180,6 +183,12 @@ class Adjacency:
         if nodes.size == 0:
             return np.zeros(0, dtype=np.int64)
         deg = self.degrees[nodes]
+        if not self.has_isolated:
+            # Every node has a neighbour: skip the -1 masking entirely.  The
+            # random draw count matches the masked path, so both consume the
+            # generator identically.
+            offsets = (rng.random(nodes.size) * deg).astype(np.int64)
+            return self.indices[self.indptr[nodes] + offsets]
         result = np.full(nodes.size, -1, dtype=np.int64)
         ok = deg > 0
         if np.any(ok):
@@ -221,9 +230,21 @@ class Adjacency:
         """
         nbrs = self.neighbors(node)
         if avoid is not None:
-            avoid_arr = np.asarray(sorted(set(int(a) for a in avoid)), dtype=np.int64)
-            if avoid_arr.size:
-                nbrs = nbrs[~np.isin(nbrs, avoid_arr, assume_unique=False)]
+            if isinstance(avoid, np.ndarray):
+                avoid_arr = avoid.astype(np.int64, copy=False)
+            else:
+                avoid_arr = np.fromiter((int(a) for a in avoid), dtype=np.int64)
+            if avoid_arr.size and nbrs.size:
+                # The neighbour list is already sorted, so each avoided
+                # address is located with a binary search instead of the
+                # O(len(nbrs) * len(avoid)) ``np.isin`` scan.
+                pos = np.searchsorted(nbrs, avoid_arr)
+                in_range = pos < nbrs.size
+                hit = pos[in_range][nbrs[pos[in_range]] == avoid_arr[in_range]]
+                if hit.size:
+                    keep = np.ones(nbrs.size, dtype=bool)
+                    keep[hit] = False
+                    nbrs = nbrs[keep]
         if nbrs.size == 0 or count <= 0:
             return np.zeros(0, dtype=np.int64)
         if distinct:
@@ -248,14 +269,19 @@ class Adjacency:
         while frontier.size:
             if cutoff is not None and level >= cutoff:
                 break
-            nxt: List[np.ndarray] = []
-            for u in frontier.tolist():
-                nbrs = self.neighbors(u)
-                fresh = nbrs[dist[nbrs] < 0]
-                if fresh.size:
-                    dist[fresh] = level + 1
-                    nxt.append(fresh)
-            frontier = np.concatenate(nxt) if nxt else np.zeros(0, dtype=np.int64)
+            # Expand the whole frontier at once: gather each frontier node's
+            # CSR slice via a repeat-offset index instead of a per-node loop.
+            counts = self.degrees[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            starts = self.indptr[frontier]
+            offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+            nbrs = self.indices[np.repeat(starts, counts) + offsets]
+            fresh = np.unique(nbrs[dist[nbrs] < 0])
+            if fresh.size:
+                dist[fresh] = level + 1
+            frontier = fresh
             level += 1
         return dist
 

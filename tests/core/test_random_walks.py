@@ -143,3 +143,40 @@ class TestWalkPoolDynamics:
     def test_bad_payload_shape_rejected(self):
         with pytest.raises(ValueError):
             WalkPool(np.zeros(4, dtype=np.uint64), move_cap=3)
+
+
+class TestMaintainedCounters:
+    """queued_walks / nodes_with_walks come from maintained flat-array state,
+    not from re-summing per-node queues; they must stay consistent with the
+    materialised ``queues`` view through arbitrary operation sequences."""
+
+    def test_counters_track_queues_through_random_steps(self):
+        graph = random_regular(64, 8, rng=2, require_connected=True)
+        knowledge = KnowledgeMatrix(graph.n)
+        ledger = TransmissionLedger(graph.n)
+        rng = make_rng(21)
+        pool = start_walks(graph, knowledge, 0.5, 3, rng, ledger)
+        for _ in range(15):
+            pool.deliver(knowledge)
+            pool.forward_step(graph, rng, ledger)
+            queues = pool.queues
+            assert pool.queued_walks() == sum(len(q) for q in queues.values())
+            assert pool.nodes_with_walks().tolist() == sorted(queues.keys())
+
+    def test_queues_view_is_fifo_ordered(self, setting):
+        graph, knowledge, ledger = setting
+        pool = WalkPool(knowledge.data[[0, 1, 2]].copy(), move_cap=10)
+        pool.send(2, 9)
+        pool.send(0, 9)
+        pool.send(1, 9)
+        pool.deliver(knowledge)
+        assert list(pool.queues[9]) == [2, 0, 1]
+        assert pool.queued_walks() == 3
+        assert pool.nodes_with_walks().tolist() == [9]
+
+    def test_idle_pool_counters(self):
+        pool = WalkPool(np.zeros((0, 2), dtype=np.uint64), move_cap=1)
+        assert pool.queued_walks() == 0
+        assert pool.walks_in_transit() == 0
+        assert pool.nodes_with_walks().size == 0
+        assert pool.is_idle()
