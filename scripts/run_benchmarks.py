@@ -43,13 +43,17 @@ SIZES = (1000, 5000, 20000)
 GRAPH_SEED = 5
 PROTOCOL_SEEDS = {"push-pull": 1, "fast-gossiping": 2, "memory": 3}
 
-#: Wall-clock of the pre-vectorization seed (commit c5dee3b), measured on the
+#: Wall-clock of the pre-vectorization reference kernels, measured on the
 #: same machine with the same graph/protocol seeds and best-of methodology.
-#: Kept here because the seed kernel no longer exists in the tree; used to
-#: report the speedup of the current kernel in the baseline JSON.
+#: push-pull / fast-gossiping numbers are the original seed (commit c5dee3b);
+#: the memory numbers are the per-node Phase I-III loops as committed by PR 1
+#: (BENCH_kernel.json before the batched memory kernels landed).  Kept here
+#: because the reference kernels no longer exist in the tree; used to report
+#: the speedup of the current kernel in the baseline JSON.
 SEED_REFERENCE_MS = {
-    "5000": {"push-pull": 101.4, "fast-gossiping": 93.7},
-    "20000": {"push-pull": 1175.5, "fast-gossiping": 1020.2},
+    "1000": {"memory": 16.7},
+    "5000": {"push-pull": 101.4, "fast-gossiping": 93.7, "memory": 79.9},
+    "20000": {"push-pull": 1175.5, "fast-gossiping": 1020.2, "memory": 390.2},
 }
 
 
@@ -93,6 +97,50 @@ def kernel_entry(n: int, repeats: int) -> Dict[str, object]:
     }
 
 
+def memory_kernel_entry(graph, repeats: int) -> Dict[str, object]:
+    """Memory-model micro-timings: Phase I tree build and Phase II+III replay.
+
+    Both measurements include construction of their fresh per-run state
+    (knowledge matrix, ledger, ring buffer) so they reflect what one tree
+    costs inside a full protocol run.
+    """
+    from repro.core.node_memory import NodeMemory
+    from repro.engine.metrics import TransmissionLedger
+
+    protocol = MemoryGossiping(leader=0)
+    schedule = protocol.params.resolve(graph.n)
+
+    def build():
+        knowledge = KnowledgeMatrix(graph.n)
+        ledger = TransmissionLedger(graph.n)
+        memory = NodeMemory(graph.n, schedule.fanout)
+        tree = protocol._build_tree(
+            graph, knowledge, ledger, make_rng(17), schedule, 0, memory, alive=None
+        )
+        return tree
+
+    build_wall, tree = best_of(build, repeats)
+
+    def replay():
+        knowledge = KnowledgeMatrix(graph.n)
+        ledger = TransmissionLedger(graph.n)
+        protocol._gather(
+            tree, knowledge, ledger, alive=None, contacts=schedule.gather_contacts
+        )
+        protocol._replay_broadcast(
+            tree, knowledge, ledger, alive=None, contacts=schedule.gather_contacts
+        )
+        return knowledge
+
+    replay_wall, _ = best_of(replay, repeats)
+    return {
+        "tree_build_ms": round(build_wall * 1000, 4),
+        "replay_ms": round(replay_wall * 1000, 4),
+        "tree_push_edges": int(tree.num_push_edges),
+        "tree_pull_edges": int(tree.num_pull_edges),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -130,7 +178,10 @@ def main() -> int:
         graph = erdos_renyi(
             n, paper_edge_probability(n), rng=GRAPH_SEED, require_connected=True
         )
-        entry: Dict[str, object] = {"kernel": kernel_entry(n, args.repeats)}
+        entry: Dict[str, object] = {
+            "kernel": kernel_entry(n, args.repeats),
+            "memory_kernel": memory_kernel_entry(graph, args.repeats),
+        }
         protocols = {
             "push-pull": PushPullGossip(),
             "fast-gossiping": FastGossiping(),
@@ -162,6 +213,11 @@ def main() -> int:
                 f"wall={row['wall_clock_s']*1000:8.1f}ms "
                 f"({row['rounds_per_s']} rounds/s)"
             )
+        mk = entry["memory_kernel"]
+        print(
+            f"  n={n:>6} {'memory-kernel':<15} tree={mk['tree_build_ms']:.2f}ms "
+            f"replay={mk['replay_ms']:.2f}ms"
+        )
     return 0
 
 

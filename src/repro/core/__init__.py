@@ -9,6 +9,7 @@ from .completion import (
 from .fast_gossiping import FastGossiping
 from .leader_election import LeaderElection, LeaderElectionResult
 from .memory_gossiping import CommunicationTree, MemoryGossiping
+from .node_memory import NodeMemory
 from .parameters import (
     FastGossipingParameters,
     FastGossipingSchedule,
@@ -38,6 +39,7 @@ __all__ = [
     "LeaderElectionResult",
     "CommunicationTree",
     "MemoryGossiping",
+    "NodeMemory",
     "FastGossipingParameters",
     "FastGossipingSchedule",
     "LeaderElectionParameters",

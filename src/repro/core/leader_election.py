@@ -17,7 +17,7 @@ can reuse it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from ..engine.failures import NO_FAILURES, FailurePlan
 from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState, make_rng
 from ..graphs.adjacency import Adjacency
+from .node_memory import NodeMemory, open_avoid_one
 from .parameters import LeaderElectionParameters
 
 __all__ = ["LeaderElectionResult", "LeaderElection"]
@@ -138,75 +139,58 @@ class LeaderElection:
         if self.active_push_limit is not None:
             push_budget[candidates] = int(self.active_push_limit)
 
-        memory = np.full((n, params.memory_size), -1, dtype=np.int64)
-        memory_ptr = np.zeros(n, dtype=np.int64)
-
-        def open_avoid(node: int) -> int:
-            """The memory model's open-avoid: a random neighbour not in memory."""
-            picked = graph.sample_neighbors_avoiding(
-                node, generator, avoid=memory[node][memory[node] >= 0], count=1
-            )
-            if picked.size == 0:
-                picked = graph.sample_neighbors_avoiding(node, generator, count=1)
-            if picked.size == 0:
-                return -1
-            target = int(picked[0])
-            memory[node, memory_ptr[node] % params.memory_size] = target
-            memory_ptr[node] += 1
-            return target
+        memory = NodeMemory(n, params.memory_size)
 
         rounds = 0
         # ---------------------------- push steps ------------------------- #
+        # All senders open their channels in one batched open-avoid pass and
+        # the smallest identifier per callee is propagated with a single
+        # scatter-min.  A node whose memory blocks every neighbour retries
+        # uniformly; only nodes that actually opened a channel are charged an
+        # open and a push packet (an isolated node cannot transmit at all).
         for _ in range(params.push_steps(n)):
             senders = np.flatnonzero(active & alive)
             if self.active_push_limit is not None and senders.size:
                 senders = senders[push_budget[senders] != 0]
+            targets = open_avoid_one(graph, senders, memory, generator)
+            opened = targets >= 0
+            openers = senders[opened]
+            callees = targets[opened]
             new_best = best_id.copy()
-            opens: List[int] = []
-            for v in senders.tolist():
-                target = open_avoid(v)
-                opens.append(v)
-                if target < 0 or not alive[target]:
-                    continue
-                if best_id[v] < new_best[target]:
-                    new_best[target] = best_id[v]
-            if opens:
-                arr = np.asarray(opens, dtype=np.int64)
-                ledger.record_opens(arr)
-                ledger.record_pushes(arr)
+            if openers.size:
+                ledger.record_opens(openers)
+                ledger.record_pushes(openers)
                 if self.active_push_limit is not None:
-                    push_budget[arr] = np.maximum(push_budget[arr] - 1, 0)
+                    push_budget[openers] = np.maximum(push_budget[openers] - 1, 0)
+                delivered = alive[callees]  # crashed callees drop the packet
+                np.minimum.at(new_best, callees[delivered], best_id[openers[delivered]])
             improved = new_best < best_id
             if self.active_push_limit is not None and improved.any():
+                # Learning a strictly smaller identifier refills the budget
+                # (this also covers newly activated nodes).
                 push_budget[improved] = int(self.active_push_limit)
-            newly_active = improved & ~active
             active |= improved
             best_id = new_best
             rounds += 1
             ledger.end_round()
-            if self.active_push_limit is not None and newly_active.any():
-                push_budget[newly_active] = int(self.active_push_limit)
 
         # ---------------------------- pull steps ------------------------- #
         for _ in range(params.pull_steps(n)):
             callers = np.flatnonzero(alive)
-            opens = []
-            pulls = []
-            new_best = best_id.copy()
-            for v in callers.tolist():
-                target = open_avoid(v)
-                opens.append(v)
-                if target < 0 or not alive[target]:
-                    continue
-                if np.isfinite(best_id[target]):
-                    pulls.append(target)
-                    if best_id[target] < new_best[v]:
-                        new_best[v] = best_id[target]
-            if opens:
-                ledger.record_opens(np.asarray(opens, dtype=np.int64))
-            if pulls:
-                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
-            best_id = new_best
+            targets = open_avoid_one(graph, callers, memory, generator)
+            opened = targets >= 0
+            openers = callers[opened]
+            callees = targets[opened]
+            if openers.size:
+                ledger.record_opens(openers)
+            answering = alive[callees] & np.isfinite(best_id[callees])
+            pullers = callees[answering]
+            if pullers.size:
+                ledger.record_pulls(pullers)
+                receivers = openers[answering]
+                best_id[receivers] = np.minimum(
+                    best_id[receivers], best_id[pullers]
+                )
             rounds += 1
             ledger.end_round()
 

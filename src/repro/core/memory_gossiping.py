@@ -43,6 +43,7 @@ from ..engine.trace import SpreadingTrace
 from ..graphs.adjacency import Adjacency
 from .completion import gossip_complete
 from .leader_election import LeaderElection, LeaderElectionResult
+from .node_memory import NodeMemory, open_avoid_fanout, open_avoid_one
 from .parameters import (
     LeaderElectionParameters,
     MemoryGossipingParameters,
@@ -156,23 +157,11 @@ class CommunicationTree:
         return int(informed.max()) if informed.size else 0
 
 
-class _NodeMemory:
-    """The constant-size per-node memory (list ``l_v``) of the memory model."""
-
-    def __init__(self, n: int, size: int) -> None:
-        self.size = size
-        self.slots = np.full((n, size), -1, dtype=np.int64)
-        self.pointer = np.zeros(n, dtype=np.int64)
-
-    def remembered(self, node: int) -> np.ndarray:
-        """Addresses currently stored by ``node``."""
-        row = self.slots[node]
-        return row[row >= 0]
-
-    def store(self, node: int, address: int) -> None:
-        """Store ``address`` in the next slot of ``node`` (ring buffer)."""
-        self.slots[node, self.pointer[node] % self.size] = address
-        self.pointer[node] += 1
+def _concat(chunks: List[np.ndarray]) -> np.ndarray:
+    """Concatenate accumulated edge chunks (empty-safe)."""
+    if not chunks:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(chunks)
 
 
 class MemoryGossiping(GossipProtocol):
@@ -261,7 +250,7 @@ class MemoryGossiping(GossipProtocol):
             # probability n^{-Omega(1)}); mirror that by protecting it.
             raise ValueError("the leader must not be part of the failure plan")
 
-        memory = _NodeMemory(n, schedule.fanout)
+        memory = NodeMemory(n, schedule.fanout)
 
         # -------------------------- Phase I ---------------------------- #
         ledger.begin_phase("phase1-tree-construction")
@@ -348,62 +337,76 @@ class MemoryGossiping(GossipProtocol):
         rng: np.random.Generator,
         schedule: MemoryGossipingSchedule,
         leader: int,
-        memory: _NodeMemory,
+        memory: NodeMemory,
         *,
         alive: Optional[np.ndarray],
     ) -> CommunicationTree:
+        """Phase I with the whole frontier processed per long-step.
+
+        Push long-steps sample all frontier nodes' ``fanout`` distinct
+        contacts in one batched ``open-avoid`` call; pull long-steps sample
+        one contact for every still-uninformed node per step.  Only nodes
+        that actually opened a channel are charged opens/packets, and a
+        crashed callee's contact is recorded exactly once (the packet is
+        sent but dropped, so the caller's record and cost are identical to
+        the healthy case — only the informing is suppressed).
+
+        The pull budget terminates as soon as every (alive) node holds the
+        leader's message: trailing no-op rounds are not executed and not
+        counted (the per-node version kept burning ``fanout`` empty rounds
+        per remaining long-step when ``run_pull_until_complete`` was set).
+        """
         n = graph.n
         fanout = schedule.fanout
         informed_step = np.full(n, -1, dtype=np.int64)
         informed_step[leader] = 0
 
-        push_parents: List[int] = []
-        push_children: List[int] = []
-        push_steps: List[int] = []
-        pull_children: List[int] = []
-        pull_parents: List[int] = []
-        pull_steps: List[int] = []
+        push_parents: List[np.ndarray] = []
+        push_children: List[np.ndarray] = []
+        push_steps: List[np.ndarray] = []
+        pull_children: List[np.ndarray] = []
+        pull_parents: List[np.ndarray] = []
+        pull_steps: List[np.ndarray] = []
 
         step = 0
-        frontier: List[int] = [leader]
+        frontier = np.asarray([leader], dtype=np.int64)
+        substep_offsets = np.arange(fanout, dtype=np.int64)
+        no_step = np.iinfo(np.int64).max
 
         # ----------------------- push long-steps ----------------------- #
+        # Only alive nodes ever enter the frontier (crashed callees are
+        # recorded but never informed), and the leader is checked upfront,
+        # so no alive-filter is needed on the frontier itself.
         for _ in range(schedule.push_longsteps):
-            next_frontier: List[int] = []
-            opens: List[int] = []
-            for v in frontier:
-                if alive is not None and not alive[v]:
-                    continue
-                targets = graph.sample_neighbors_avoiding(
-                    v, rng, avoid=memory.remembered(v), count=fanout
-                )
-                for k, u in enumerate(targets.tolist()):
-                    memory.store(v, u)
-                    opens.append(v)
-                    contact_step = step + k
-                    if alive is not None and not alive[u]:
-                        # The packet is sent but the crashed callee drops it;
-                        # the caller still records the contact.
-                        push_parents.append(v)
-                        push_children.append(u)
-                        push_steps.append(contact_step)
-                        continue
-                    push_parents.append(v)
-                    push_children.append(u)
-                    push_steps.append(contact_step)
-                    if informed_step[u] < 0:
-                        informed_step[u] = contact_step + 1
-                        knowledge.add(u, leader)
-                        next_frontier.append(u)
-            if opens:
-                arr = np.asarray(opens, dtype=np.int64)
-                ledger.record_opens(arr)
-                ledger.record_pushes(arr)
+            targets = open_avoid_fanout(graph, frontier, memory, rng, fanout)
+            contacted = (targets >= 0).ravel()
+            parents = np.repeat(frontier, fanout)[contacted]
+            children = targets.ravel()[contacted]
+            contact_steps = (step + np.tile(substep_offsets, frontier.size))[contacted]
+            if parents.size:
+                push_parents.append(parents)
+                push_children.append(children)
+                push_steps.append(contact_steps)
+                ledger.record_opens(parents)
+                ledger.record_pushes(parents)
+            # A child contacted several times this long-step is informed by
+            # its earliest contact; crashed callees drop the packet.
+            if alive is not None:
+                delivered = alive[children]
+                cand_children = children[delivered]
+                cand_steps = contact_steps[delivered]
+            else:
+                cand_children, cand_steps = children, contact_steps
+            first_contact = np.full(n, no_step, dtype=np.int64)
+            np.minimum.at(first_contact, cand_children, cand_steps)
+            fresh = np.flatnonzero((informed_step < 0) & (first_contact < no_step))
+            informed_step[fresh] = first_contact[fresh] + 1
+            knowledge.add_many(fresh, leader)
             step += fanout
             for _ in range(fanout):
                 ledger.end_round()
-            frontier = next_frontier
-            if not frontier:
+            frontier = fresh
+            if frontier.size == 0:
                 break
 
         # ----------------------- pull long-steps ----------------------- #
@@ -411,69 +414,48 @@ class MemoryGossiping(GossipProtocol):
         if schedule.run_pull_until_complete:
             pull_rounds_budget += schedule.max_extra_longsteps
         executed = 0
-        while executed < pull_rounds_budget:
-            uninformed = np.flatnonzero(informed_step < 0)
-            if alive is not None and uninformed.size:
-                uninformed = uninformed[alive[uninformed]]
-            if uninformed.size == 0:
-                if executed >= schedule.pull_longsteps:
-                    break
-            if uninformed.size == 0 and not schedule.run_pull_until_complete:
-                break
-            for k in range(schedule.fanout):
+        covered = False
+        while executed < pull_rounds_budget and not covered:
+            for _ in range(fanout):
                 callers = np.flatnonzero(informed_step < 0)
                 if alive is not None and callers.size:
                     callers = callers[alive[callers]]
                 if callers.size == 0:
-                    ledger.end_round()
-                    step += 1
-                    continue
-                opens: List[int] = []
-                pulls: List[int] = []
+                    covered = True
+                    break
                 # Synchronous semantics: only nodes informed *before* this
                 # step can answer a pull in it.
                 informed_before_step = informed_step >= 0
-                for v in callers.tolist():
-                    targets = graph.sample_neighbors_avoiding(
-                        v, rng, avoid=memory.remembered(v), count=1
-                    )
-                    if targets.size == 0:
-                        targets = graph.sample_neighbors_avoiding(v, rng, count=1)
-                    if targets.size == 0:
-                        continue
-                    u = int(targets[0])
-                    memory.store(v, u)
-                    opens.append(v)
-                    if alive is not None and not alive[u]:
-                        continue
-                    if informed_before_step[u]:
-                        pulls.append(u)
-                        informed_step[v] = step + 1
-                        knowledge.add(v, leader)
-                        pull_children.append(v)
-                        pull_parents.append(u)
-                        pull_steps.append(step)
-                if opens:
-                    ledger.record_opens(np.asarray(opens, dtype=np.int64))
-                if pulls:
-                    ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+                targets = open_avoid_one(graph, callers, memory, rng)
+                opened = targets >= 0
+                openers = callers[opened]
+                contacts = targets[opened]
+                if openers.size:
+                    ledger.record_opens(openers)
+                answered = informed_before_step[contacts]
+                if alive is not None:
+                    answered &= alive[contacts]
+                sources = contacts[answered]
+                joined = openers[answered]
+                if joined.size:
+                    ledger.record_pulls(sources)
+                    informed_step[joined] = step + 1
+                    knowledge.add_many(joined, leader)
+                    pull_children.append(joined)
+                    pull_parents.append(sources)
+                    pull_steps.append(np.full(joined.size, step, dtype=np.int64))
                 ledger.end_round()
                 step += 1
             executed += 1
-            remaining_uninformed = np.flatnonzero(informed_step < 0)
-            if alive is not None and remaining_uninformed.size:
-                remaining_uninformed = remaining_uninformed[alive[remaining_uninformed]]
-            if remaining_uninformed.size == 0 and executed >= schedule.pull_longsteps:
-                break
 
         return CommunicationTree(
             root=leader,
-            push_parents=np.asarray(push_parents, dtype=np.int64),
-            push_children=np.asarray(push_children, dtype=np.int64),
-            push_steps=np.asarray(push_steps, dtype=np.int64),
-            pull_children=np.asarray(pull_children, dtype=np.int64),
-            pull_parents=np.asarray(pull_parents, dtype=np.int64),
-            pull_steps=np.asarray(pull_steps, dtype=np.int64),
+            push_parents=_concat(push_parents),
+            push_children=_concat(push_children),
+            push_steps=_concat(push_steps),
+            pull_children=_concat(pull_children),
+            pull_parents=_concat(pull_parents),
+            pull_steps=_concat(pull_steps),
             informed_step=informed_step,
         )
 
@@ -503,48 +485,55 @@ class MemoryGossiping(GossipProtocol):
         alive: Optional[np.ndarray],
         contacts: str = "all",
     ) -> None:
+        """Replay the recorded contacts in reverse order, one round per step.
+
+        Every per-step edge group is applied as one batched scatter-OR
+        (:meth:`KnowledgeMatrix.apply_transmissions`), so all edges of a
+        group read the same start-of-round state — the synchronous-model
+        snapshot discipline used by every other kernel.  Correctness only
+        relies on cross-group ordering (a node's informing contact lies in a
+        strictly earlier Phase I step than its outgoing contacts), which the
+        step grouping preserves.
+        """
         push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
         # First the pull-phase attachments, children first (reverse step
         # order): each node pushes everything it has to the node it pulled
         # the leader's message from.  Edges recorded in the same Phase I step
         # are replayed within the same round.
         for edge_indices in _steps_descending(tree.pull_steps):
-            opens: List[int] = []
-            pushes: List[int] = []
-            for idx in edge_indices:
-                child = int(tree.pull_children[idx])
-                parent = int(tree.pull_parents[idx])
-                if alive is not None and not alive[child]:
-                    continue  # crashed node: no communication at all
-                opens.append(child)
-                pushes.append(child)
-                if alive is not None and not alive[parent]:
-                    continue  # crashed recipient drops the packet
-                knowledge.union_from_node(parent, child)
-            if opens:
-                ledger.record_opens(np.asarray(opens, dtype=np.int64))
-                ledger.record_pushes(np.asarray(pushes, dtype=np.int64))
+            children = tree.pull_children[edge_indices]
+            parents = tree.pull_parents[edge_indices]
+            if alive is not None:
+                sending = alive[children]  # crashed child: no communication
+                children = children[sending]
+                parents = parents[sending]
+            if children.size:
+                ledger.record_opens(children)
+                ledger.record_pushes(children)
+                if alive is not None:
+                    delivered = alive[parents]  # crashed recipient drops it
+                    knowledge.apply_transmissions(children[delivered], parents[delivered])
+                else:
+                    knowledge.apply_transmissions(children, parents)
             ledger.end_round()
         # Then the push-phase contacts in reverse chronological order: the
         # parent re-opens the stored channel and the child answers with a pull
         # carrying all original messages it has accumulated so far.
         for edge_indices in _steps_descending(push_steps):
-            opens = []
-            pulls: List[int] = []
-            for idx in edge_indices:
-                parent = int(push_parents[idx])
-                child = int(push_children[idx])
-                if alive is not None and not alive[parent]:
-                    continue
-                opens.append(parent)
-                if alive is not None and not alive[child]:
-                    continue
-                pulls.append(child)
-                knowledge.union_from_node(parent, child)
-            if opens:
-                ledger.record_opens(np.asarray(opens, dtype=np.int64))
-            if pulls:
-                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+            parents = push_parents[edge_indices]
+            children = push_children[edge_indices]
+            if alive is not None:
+                opening = alive[parents]
+                parents = parents[opening]
+                children = children[opening]
+            if parents.size:
+                ledger.record_opens(parents)
+            if alive is not None:
+                answering = alive[children]
+                parents, children = parents[answering], children[answering]
+            if children.size:
+                ledger.record_pulls(children)
+                knowledge.apply_transmissions(children, parents)
             ledger.end_round()
 
     # ------------------------------------------------------------------ #
@@ -562,45 +551,43 @@ class MemoryGossiping(GossipProtocol):
         # Forward chronological replay: every recorded contact forwards the
         # sender's current combined message.  Because a node's own informing
         # contact happened strictly before its outgoing contacts, the leader's
-        # complete set cascades down the tree in a single pass.
+        # complete set cascades down the tree in a single pass.  As in
+        # :meth:`_gather`, each per-step group is one batched scatter-OR
+        # against the start-of-round state.
         push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
         all_steps = np.concatenate([push_steps, tree.pull_steps])
         push_count = push_steps.size
         for edge_indices in _steps_ascending(all_steps):
-            opens: List[int] = []
-            pushes: List[int] = []
-            pulls: List[int] = []
-            for idx in edge_indices:
-                if idx < push_count:
-                    sender = int(push_parents[idx])
-                    receiver = int(push_children[idx])
-                    is_pull = False
-                else:
-                    sender = int(tree.pull_parents[idx - push_count])
-                    receiver = int(tree.pull_children[idx - push_count])
-                    is_pull = True
-                if alive is not None and not alive[sender]:
-                    continue
-                if is_pull:
-                    # The formerly uninformed node re-opens the stored channel
-                    # and the informed neighbour answers with a pull.
-                    if alive is not None and not alive[receiver]:
-                        continue
-                    opens.append(receiver)
-                    pulls.append(sender)
-                    knowledge.union_from_node(receiver, sender)
-                else:
-                    opens.append(sender)
-                    pushes.append(sender)
-                    if alive is not None and not alive[receiver]:
-                        continue
-                    knowledge.union_from_node(receiver, sender)
-            if opens:
-                ledger.record_opens(np.asarray(opens, dtype=np.int64))
-            if pushes:
-                ledger.record_pushes(np.asarray(pushes, dtype=np.int64))
-            if pulls:
-                ledger.record_pulls(np.asarray(pulls, dtype=np.int64))
+            from_push = edge_indices < push_count
+            p_idx = edge_indices[from_push]
+            l_idx = edge_indices[~from_push] - push_count
+            p_senders = push_parents[p_idx]
+            p_receivers = push_children[p_idx]
+            # The formerly uninformed node re-opens the stored channel and
+            # the informed neighbour answers with a pull.
+            l_senders = tree.pull_parents[l_idx]
+            l_receivers = tree.pull_children[l_idx]
+            if alive is not None:
+                p_opening = alive[p_senders]
+                p_senders = p_senders[p_opening]
+                p_receivers = p_receivers[p_opening]
+                l_live = alive[l_senders] & alive[l_receivers]
+                l_senders = l_senders[l_live]
+                l_receivers = l_receivers[l_live]
+            if p_senders.size or l_receivers.size:
+                ledger.record_opens(np.concatenate([p_senders, l_receivers]))
+            if p_senders.size:
+                ledger.record_pushes(p_senders)
+            if l_senders.size:
+                ledger.record_pulls(l_senders)
+            if alive is not None:
+                p_delivered = alive[p_receivers]
+                p_senders = p_senders[p_delivered]
+                p_receivers = p_receivers[p_delivered]
+            knowledge.apply_transmissions(
+                np.concatenate([p_senders, l_senders]),
+                np.concatenate([p_receivers, l_receivers]),
+            )
             ledger.end_round()
 
     # ------------------------------------------------------------------ #

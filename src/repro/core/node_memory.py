@@ -1,0 +1,158 @@
+"""The memory model's constant-size per-node memory, vectorized.
+
+Algorithms 2 and 3 both extend the random phone call model with a small
+per-node ring buffer ``l_v`` holding the last few contacted neighbours, used
+by the ``open-avoid`` operation (open a channel to a random neighbour *not*
+in ``l_v``).  This module holds the shared state container plus the two
+batched open-avoid kernels built on
+:meth:`repro.graphs.adjacency.Adjacency.sample_neighbors_avoiding_many`:
+
+``open_avoid_one``
+    One channel per caller, with the protocols' fallback semantics: a caller
+    whose memory blocks every neighbour re-opens uniformly over all
+    neighbours (used by the Phase I pull loop and the whole of Algorithm 3).
+
+``open_avoid_fanout``
+    ``count`` distinct channels per caller with no fallback (used by the
+    Phase I push long-steps, where a caller simply contacts fewer
+    neighbours when its memory blocks too many).
+
+Both kernels record every successful contact in the ring buffer, exactly as
+the per-node formulation stores each address right after opening the channel.
+
+RNG stream discipline: each kernel first consumes ``rng.random((m, count))``
+for the primary draw; ``open_avoid_one`` then consumes ``rng.random((f, 1))``
+for the ``f`` fallback callers in ascending batch order.  The equivalence
+tests replicate this discipline with per-node reference loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.adjacency import Adjacency
+
+__all__ = ["NodeMemory", "open_avoid_one", "open_avoid_fanout"]
+
+
+class NodeMemory:
+    """The constant-size per-node memory (list ``l_v``) of the memory model.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    size:
+        Ring-buffer capacity per node (4 in the paper).
+
+    Notes
+    -----
+    ``slots`` is an ``(n, size)`` matrix with ``-1`` marking empty slots and
+    ``pointer`` the per-node monotonically increasing write cursor; slot
+    ``pointer % size`` is overwritten next, so the buffer always holds the
+    most recent ``size`` stored addresses.
+    """
+
+    __slots__ = ("size", "slots", "pointer")
+
+    def __init__(self, n: int, size: int) -> None:
+        self.size = int(size)
+        self.slots = np.full((n, size), -1, dtype=np.int64)
+        self.pointer = np.zeros(n, dtype=np.int64)
+
+    def remembered(self, node: int) -> np.ndarray:
+        """Addresses currently stored by ``node``."""
+        row = self.slots[node]
+        return row[row >= 0]
+
+    def store(self, node: int, address: int) -> None:
+        """Store ``address`` in the next slot of ``node`` (ring buffer)."""
+        self.slots[node, self.pointer[node] % self.size] = address
+        self.pointer[node] += 1
+
+    def avoid_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """``(m, size)`` avoid matrix for ``nodes`` (``-1`` = empty slot).
+
+        The rows are a copy, so callers may store into the memory before
+        consuming the returned matrix.
+        """
+        return self.slots[nodes]
+
+    def store_many(self, nodes: np.ndarray, addresses: np.ndarray) -> None:
+        """Store a batch of addresses, one ring-buffer write per valid entry.
+
+        Parameters
+        ----------
+        nodes:
+            Unique caller identifiers, shape ``(m,)``.
+        addresses:
+            ``(m,)`` or ``(m, k)`` addresses; entries ``< 0`` are skipped.
+            For the matrix form, column ``j`` is stored before column
+            ``j + 1``, matching a per-node loop over each caller's targets.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.ndim == 1:
+            addresses = addresses[:, None]
+        for j in range(addresses.shape[1]):
+            column = addresses[:, j]
+            keep = column >= 0
+            if not keep.any():
+                continue
+            which = nodes[keep]
+            self.slots[which, self.pointer[which] % self.size] = column[keep]
+            self.pointer[which] += 1
+
+
+def open_avoid_one(
+    graph: Adjacency,
+    nodes: np.ndarray,
+    memory: NodeMemory,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Batched single-channel ``open-avoid`` with uniform fallback.
+
+    For every caller, sample one random neighbour avoiding the caller's
+    memory; callers whose memory blocks every neighbour retry uniformly over
+    all their neighbours.  Successful contacts are stored in ``memory``.
+    Returns one target per caller, ``-1`` for callers with no neighbours at
+    all (no channel is opened for those).
+
+    ``nodes`` must be unique: each caller owns one ring-buffer write per
+    step, and :meth:`NodeMemory.store_many` collapses repeated rows (in the
+    synchronous model a node opens at most one avoid-channel per step).
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    targets = graph.sample_neighbors_avoiding_many(
+        nodes, rng, avoid=memory.avoid_rows(nodes), count=1
+    )[:, 0]
+    retry = (targets < 0) & (graph.degrees[nodes] > 0)
+    if retry.any():
+        targets[retry] = graph.sample_neighbors_avoiding_many(
+            nodes[retry], rng, count=1
+        )[:, 0]
+    memory.store_many(nodes, targets)
+    return targets
+
+
+def open_avoid_fanout(
+    graph: Adjacency,
+    nodes: np.ndarray,
+    memory: NodeMemory,
+    rng: np.random.Generator,
+    count: int,
+) -> np.ndarray:
+    """Batched multi-channel ``open-avoid`` (no fallback).
+
+    Samples up to ``count`` distinct neighbours per caller avoiding the
+    caller's memory and stores every successful contact.  Returns an
+    ``(m, count)`` matrix with ``-1`` in the trailing columns of callers that
+    ran out of eligible neighbours.  As with :func:`open_avoid_one`,
+    ``nodes`` must be unique.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    targets = graph.sample_neighbors_avoiding_many(
+        nodes, rng, avoid=memory.avoid_rows(nodes), count=count
+    )
+    memory.store_many(nodes, targets)
+    return targets

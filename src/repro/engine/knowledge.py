@@ -119,6 +119,13 @@ class KnowledgeMatrix:
         self._check_message(message)
         self.data[node, message // WORD_BITS] |= self._bit(message)
 
+    def add_many(self, nodes: np.ndarray, message: int) -> None:
+        """Mark every entry of ``nodes`` as knowing ``message``."""
+        self._check_message(message)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size:
+            self.data[nodes, message // WORD_BITS] |= self._bit(message)
+
     def knows(self, node: int, message: int) -> bool:
         """Whether ``node`` currently knows ``message``."""
         self._check_message(message)

@@ -39,7 +39,7 @@ class Adjacency:
     hand.
     """
 
-    __slots__ = ("n", "indptr", "indices", "degrees", "has_isolated")
+    __slots__ = ("n", "indptr", "indices", "degrees", "has_isolated", "_owner_keys")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
@@ -57,6 +57,10 @@ class Adjacency:
             self.indices.min() < 0 or self.indices.max() >= self.n
         ):
             raise ValueError("neighbour index out of range")
+        #: Lazily built ``owner * n + neighbour`` key array (globally sorted
+        #: because per-row neighbour lists are sorted); enables one
+        #: searchsorted pass over arbitrary (node, address) query batches.
+        self._owner_keys: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -253,6 +257,145 @@ class Adjacency:
         else:
             picked = rng.choice(nbrs, size=count, replace=True)
         return np.asarray(picked, dtype=np.int64)
+
+    def _ensure_owner_keys(self) -> np.ndarray:
+        """``owner * n + neighbour`` for every CSR entry, globally sorted."""
+        if self._owner_keys is None:
+            owners = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+            self._owner_keys = owners * np.int64(self.n) + self.indices
+        return self._owner_keys
+
+    def neighbor_positions(self, nodes: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Per-pair local position of ``values[i]`` in ``nodes[i]``'s list.
+
+        Returns -1 where ``values[i]`` is not a neighbour of ``nodes[i]``.
+        All pairs are resolved with a single binary search over the cached
+        ``owner * n + neighbour`` key array, so the cost is one
+        ``searchsorted`` pass regardless of how many distinct nodes appear.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if nodes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Out-of-range addresses are never neighbours; clamping them to a
+        # self-key (node * n + node, never present: no self-loops) keeps the
+        # key arithmetic from aliasing into the next node's key range.
+        in_graph = (values >= 0) & (values < self.n)
+        safe_values = np.where(in_graph, values, nodes)
+        keys = nodes * np.int64(self.n) + safe_values
+        owner_keys = self._ensure_owner_keys()
+        pos = np.searchsorted(owner_keys, keys)
+        local = np.full(nodes.size, -1, dtype=np.int64)
+        in_range = pos < owner_keys.size
+        matched = np.zeros(nodes.size, dtype=bool)
+        matched[in_range] = owner_keys[pos[in_range]] == keys[in_range]
+        local[matched] = pos[matched] - self.indptr[nodes[matched]]
+        return local
+
+    def sample_neighbors_avoiding_many(
+        self,
+        nodes: np.ndarray,
+        rng: np.random.Generator,
+        avoid: Optional[np.ndarray] = None,
+        count: int = 1,
+    ) -> np.ndarray:
+        """Batched ``open-avoid``: distinct random neighbours for many callers.
+
+        For every ``nodes[i]`` this samples up to ``count`` *distinct*
+        neighbours uniformly from ``N(nodes[i]) \\ avoid[i]``, exactly like
+        calling :meth:`sample_neighbors_avoiding` per node, but with no
+        per-node Python: avoided addresses are located with one
+        ``searchsorted`` pass over all callers and the samples are drawn by
+        rank (skip-sampling over the excluded positions).
+
+        Parameters
+        ----------
+        nodes:
+            Caller identifiers, shape ``(m,)``.  Entries may repeat (each row
+            is an independent draw).
+        rng:
+            Randomness source.
+        avoid:
+            Optional ``(m, A)`` matrix of addresses to avoid per caller;
+            entries ``< 0`` are empty slots.  Duplicate addresses within a row
+            are tolerated (a node's memory may store the same neighbour twice
+            after a fallback re-open).
+        count:
+            Number of distinct samples requested per caller.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m, count)`` targets; column ``j`` is caller ``i``'s ``j``-th
+            sample or ``-1`` when fewer than ``j + 1`` eligible neighbours
+            exist.  Failures always occupy the trailing columns.
+
+        Notes
+        -----
+        **RNG stream discipline** — one call consumes exactly
+        ``rng.random((m, count))`` (row-major), independent of degrees and
+        avoid lists.  A per-node reference loop replicates the batch
+        bit-for-bit by drawing the same matrix up front and mapping
+        ``U[i, j]`` through ordinary skip-sampling; the equivalence tests pin
+        exactly this.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        m = nodes.size
+        if count <= 0:
+            return np.zeros((m, 0), dtype=np.int64)
+        uniforms = rng.random((m, count))
+        result = np.full((m, count), -1, dtype=np.int64)
+        if m == 0 or self.indices.size == 0:
+            return result
+        deg = self.degrees[nodes]
+        starts = self.indptr[nodes]
+        sentinel = np.int64(self.n)  # every local position is < degree <= n - 1
+
+        # Locate the avoided addresses inside each caller's neighbour slice.
+        avoid_width = 0
+        if avoid is not None:
+            avoid = np.asarray(avoid, dtype=np.int64)
+            if avoid.ndim != 2 or avoid.shape[0] != m:
+                raise ValueError("avoid must have shape (len(nodes), A)")
+            avoid_width = avoid.shape[1]
+        excl_width = avoid_width + max(0, count - 1)
+        excluded = np.full((m, max(excl_width, 1)), sentinel, dtype=np.int64)
+        if avoid_width:
+            present = avoid >= 0
+            flat = np.flatnonzero(present.ravel())
+            if flat.size:
+                local = self.neighbor_positions(
+                    np.repeat(nodes, avoid_width)[flat], avoid.ravel()[flat]
+                )
+                block = np.full(m * avoid_width, sentinel, dtype=np.int64)
+                block[flat[local >= 0]] = local[local >= 0]
+                excluded[:, :avoid_width] = block.reshape(m, avoid_width)
+            excluded.sort(axis=1)
+            # Duplicate addresses in a row must not be double-counted.
+            dup = excluded[:, 1:] == excluded[:, :-1]
+            dup &= excluded[:, 1:] < sentinel
+            if dup.any():
+                excluded[:, 1:][dup] = sentinel
+                excluded.sort(axis=1)
+        eligible = deg - (excluded < sentinel).sum(axis=1)
+
+        for j in range(count):
+            pool = eligible - j
+            valid = pool > 0
+            if not valid.any():
+                break
+            rank = (uniforms[:, j] * np.maximum(pool, 1)).astype(np.int64)
+            rank = np.minimum(rank, np.maximum(pool - 1, 0))
+            # Map the rank among eligible positions to an actual local
+            # position by stepping over each excluded position (ascending).
+            for k in range(excl_width):
+                rank += rank >= excluded[:, k]
+            pos = np.where(valid, starts + rank, 0)
+            result[valid, j] = self.indices[pos][valid]
+            if j < count - 1:
+                excluded[:, avoid_width + j] = np.where(valid, rank, sentinel)
+                excluded.sort(axis=1)
+        return result
 
     # ------------------------------------------------------------------ #
     # Traversal

@@ -1,0 +1,458 @@
+"""Semantic-equivalence tests for the batched memory-model kernels.
+
+The memory model (Algorithms 2 and 3) was rewritten from per-node Python
+loops to batched kernels: one ``open-avoid`` sampling pass per step over all
+callers, ring-buffer stores in bulk, and per-step grouped scatter-OR replays.
+These tests pin the batched kernels to per-node reference implementations
+that share the documented RNG stream discipline (each open-avoid pass draws
+``rng.random((callers, count))`` up front, then ``rng.random((f, 1))`` for
+the ``f`` fallback callers) but execute every remaining decision — skip
+sampling, memory stores, informing, ledger accounting, tree records, replay
+unions — one node or edge at a time in plain Python.
+
+Covered:
+
+* ``MemoryGossiping`` end-to-end (Phases I-III) against the reference, with
+  no failures, failures at ``start``, failures at ``before_gather``,
+  ``contacts="first"`` and multiple trees — trees, knowledge bitsets and
+  per-node ledgers must be identical.
+* ``LeaderElection`` against the reference, with and without failures and
+  ``active_push_limit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LeaderElection, MemoryGossiping, tuned_memory_gossiping
+from repro.core.memory_gossiping import _steps_ascending, _steps_descending
+from repro.core.node_memory import NodeMemory
+from repro.core.parameters import LeaderElectionParameters
+from repro.engine import sample_uniform_failures
+from repro.engine.knowledge import KnowledgeMatrix
+from repro.engine.metrics import TransmissionLedger
+from repro.engine.rng import make_rng, spawn_rngs
+from repro.graphs import erdos_renyi, paper_edge_probability
+
+
+# --------------------------------------------------------------------------- #
+# Per-node reference kernels (same stream discipline as the batch)
+# --------------------------------------------------------------------------- #
+def scalar_skip_sample(nbrs, avoid_row, uniforms, count):
+    """Reference open-avoid for one node: rank draws mapped over exclusions."""
+    nbrs = nbrs.tolist()
+    excluded = []
+    for address in avoid_row:
+        if address < 0:
+            continue
+        if address in nbrs:
+            position = nbrs.index(address)
+            if position not in excluded:
+                excluded.append(position)
+    excluded.sort()
+    picks = []
+    for j in range(count):
+        pool = len(nbrs) - len(excluded)
+        if pool <= 0:
+            break
+        rank = min(int(uniforms[j] * pool), pool - 1)
+        for position in excluded:
+            if rank >= position:
+                rank += 1
+        picks.append(nbrs[rank])
+        excluded.append(rank)
+        excluded.sort()
+    return picks
+
+
+def reference_open_avoid_one(graph, nodes, memory, rng):
+    """Per-node mirror of ``open_avoid_one`` (primary block, then fallbacks)."""
+    nodes = [int(v) for v in nodes]
+    avoid = memory.slots[np.asarray(nodes, dtype=np.int64)].copy()
+    uniforms = rng.random((len(nodes), 1))
+    targets = []
+    fallback = []
+    for i, v in enumerate(nodes):
+        picks = scalar_skip_sample(graph.neighbors(v), avoid[i], uniforms[i], 1)
+        if picks:
+            targets.append(picks[0])
+        else:
+            targets.append(-1)
+            if graph.degree(v) > 0:
+                fallback.append(i)
+    if fallback:
+        retry_uniforms = rng.random((len(fallback), 1))
+        for row, i in enumerate(fallback):
+            picks = scalar_skip_sample(
+                graph.neighbors(nodes[i]), [], retry_uniforms[row], 1
+            )
+            targets[i] = picks[0]
+    for i, v in enumerate(nodes):
+        if targets[i] >= 0:
+            memory.store(v, targets[i])
+    return targets
+
+
+def reference_build_tree(graph, knowledge, ledger, rng, schedule, leader, memory, alive):
+    """Per-node mirror of the batched ``MemoryGossiping._build_tree``."""
+    n = graph.n
+    fanout = schedule.fanout
+    informed_step = np.full(n, -1, dtype=np.int64)
+    informed_step[leader] = 0
+    push_parents, push_children, push_steps = [], [], []
+    pull_children, pull_parents, pull_steps = [], [], []
+    step = 0
+    frontier = [leader]
+
+    for _ in range(schedule.push_longsteps):
+        avoid = memory.slots[np.asarray(frontier, dtype=np.int64)].copy()
+        uniforms = rng.random((len(frontier), fanout))
+        contacts = []
+        for i, v in enumerate(frontier):
+            for k, u in enumerate(
+                scalar_skip_sample(graph.neighbors(v), avoid[i], uniforms[i], fanout)
+            ):
+                memory.store(v, u)
+                contacts.append((v, u, step + k))
+        for parent, child, contact_step in contacts:
+            push_parents.append(parent)
+            push_children.append(child)
+            push_steps.append(contact_step)
+            ledger.record_opens(np.asarray([parent]))
+            ledger.record_pushes(np.asarray([parent]))
+        first_contact = {}
+        for parent, child, contact_step in contacts:
+            if alive is not None and not alive[child]:
+                continue  # crashed callee drops the packet
+            if informed_step[child] >= 0:
+                continue
+            if child not in first_contact or contact_step < first_contact[child]:
+                first_contact[child] = contact_step
+        frontier = sorted(first_contact)
+        for child in frontier:
+            informed_step[child] = first_contact[child] + 1
+            knowledge.add(child, leader)
+        step += fanout
+        for _ in range(fanout):
+            ledger.end_round()
+        if not frontier:
+            break
+
+    budget = schedule.pull_longsteps
+    if schedule.run_pull_until_complete:
+        budget += schedule.max_extra_longsteps
+    executed = 0
+    covered = False
+    while executed < budget and not covered:
+        for _ in range(fanout):
+            callers = [
+                v
+                for v in range(n)
+                if informed_step[v] < 0 and (alive is None or alive[v])
+            ]
+            if not callers:
+                covered = True
+                break
+            informed_before = informed_step >= 0
+            targets = reference_open_avoid_one(graph, callers, memory, rng)
+            for v, u in zip(callers, targets):
+                if u < 0:
+                    continue  # no channel opened at all
+                ledger.record_opens(np.asarray([v]))
+                if alive is not None and not alive[u]:
+                    continue
+                if informed_before[u]:
+                    ledger.record_pulls(np.asarray([u]))
+                    informed_step[v] = step + 1
+                    knowledge.add(v, leader)
+                    pull_children.append(v)
+                    pull_parents.append(u)
+                    pull_steps.append(step)
+            ledger.end_round()
+            step += 1
+        executed += 1
+
+    from repro.core.memory_gossiping import CommunicationTree
+
+    return CommunicationTree(
+        root=leader,
+        push_parents=np.asarray(push_parents, dtype=np.int64),
+        push_children=np.asarray(push_children, dtype=np.int64),
+        push_steps=np.asarray(push_steps, dtype=np.int64),
+        pull_children=np.asarray(pull_children, dtype=np.int64),
+        pull_parents=np.asarray(pull_parents, dtype=np.int64),
+        pull_steps=np.asarray(pull_steps, dtype=np.int64),
+        informed_step=informed_step,
+    )
+
+
+def reference_gather(tree, knowledge, ledger, alive, contacts):
+    """Per-edge Phase II replay with a start-of-round snapshot per group."""
+    push_parents, push_children, push_steps = MemoryGossiping._selected_push_edges(
+        tree, contacts
+    )
+    for group in _steps_descending(tree.pull_steps):
+        snapshot = knowledge.data.copy()
+        for idx in group.tolist():
+            child = int(tree.pull_children[idx])
+            parent = int(tree.pull_parents[idx])
+            if alive is not None and not alive[child]:
+                continue
+            ledger.record_opens(np.asarray([child]))
+            ledger.record_pushes(np.asarray([child]))
+            if alive is not None and not alive[parent]:
+                continue
+            knowledge.data[parent] |= snapshot[child]
+        ledger.end_round()
+    for group in _steps_descending(push_steps):
+        snapshot = knowledge.data.copy()
+        for idx in group.tolist():
+            parent = int(push_parents[idx])
+            child = int(push_children[idx])
+            if alive is not None and not alive[parent]:
+                continue
+            ledger.record_opens(np.asarray([parent]))
+            if alive is not None and not alive[child]:
+                continue
+            ledger.record_pulls(np.asarray([child]))
+            knowledge.data[parent] |= snapshot[child]
+        ledger.end_round()
+
+
+def reference_broadcast(tree, knowledge, ledger, alive, contacts):
+    """Per-edge Phase III replay with a start-of-round snapshot per group."""
+    push_parents, push_children, push_steps = MemoryGossiping._selected_push_edges(
+        tree, contacts
+    )
+    all_steps = np.concatenate([push_steps, tree.pull_steps])
+    push_count = push_steps.size
+    for group in _steps_ascending(all_steps):
+        snapshot = knowledge.data.copy()
+        for idx in group.tolist():
+            if idx < push_count:
+                sender = int(push_parents[idx])
+                receiver = int(push_children[idx])
+                if alive is not None and not alive[sender]:
+                    continue
+                ledger.record_opens(np.asarray([sender]))
+                ledger.record_pushes(np.asarray([sender]))
+                if alive is not None and not alive[receiver]:
+                    continue
+            else:
+                sender = int(tree.pull_parents[idx - push_count])
+                receiver = int(tree.pull_children[idx - push_count])
+                if alive is not None and not (alive[sender] and alive[receiver]):
+                    continue
+                ledger.record_opens(np.asarray([receiver]))
+                ledger.record_pulls(np.asarray([sender]))
+            knowledge.data[receiver] |= snapshot[sender]
+        ledger.end_round()
+
+
+def reference_memory_run(graph, seed, params, leader, failures=None):
+    """Per-node mirror of ``MemoryGossiping.run`` (fixed leader)."""
+    n = graph.n
+    schedule = params.resolve(n)
+    generator = make_rng(seed)
+    ledger = TransmissionLedger(n)
+    knowledge = KnowledgeMatrix(n)
+    alive_full = (
+        np.ones(n, dtype=bool) if failures is None else failures.alive_mask(n)
+    )
+    alive_phase1 = (
+        alive_full if failures is not None and failures.applies_at("start") else None
+    )
+    alive_later = None if failures is None or failures.is_empty() else alive_full
+    memory = NodeMemory(n, schedule.fanout)
+
+    ledger.begin_phase("phase1-tree-construction")
+    trees = []
+    for tree_rng in spawn_rngs(generator, schedule.num_trees):
+        trees.append(
+            reference_build_tree(
+                graph, knowledge, ledger, tree_rng, schedule, leader, memory,
+                alive_phase1,
+            )
+        )
+    ledger.end_phase()
+    ledger.begin_phase("phase2-gather")
+    for tree in trees:
+        reference_gather(tree, knowledge, ledger, alive_later, schedule.gather_contacts)
+    ledger.end_phase()
+    ledger.begin_phase("phase3-broadcast")
+    for tree in trees:
+        reference_broadcast(
+            tree, knowledge, ledger, alive_later, schedule.gather_contacts
+        )
+    ledger.end_phase()
+    return trees, knowledge, ledger
+
+
+def reference_leader_election(graph, seed, params, active_push_limit=None, failures=None):
+    """Per-node mirror of ``LeaderElection.run``."""
+    n = graph.n
+    generator = make_rng(seed)
+    alive = np.ones(n, dtype=bool) if failures is None else failures.alive_mask(n)
+    ledger = TransmissionLedger(n)
+    ledger.begin_phase("leader-election")
+    probability = params.candidate_probability(n)
+    candidate_mask = (generator.random(n) < probability) & alive
+    if not candidate_mask.any():
+        candidate_mask[generator.choice(np.flatnonzero(alive))] = True
+    candidates = np.flatnonzero(candidate_mask)
+    best_id = np.full(n, np.inf)
+    best_id[candidates] = candidates.astype(np.float64)
+    active = candidate_mask.copy()
+    push_budget = np.full(n, -1, dtype=np.int64)
+    if active_push_limit is not None:
+        push_budget[candidates] = int(active_push_limit)
+    memory = NodeMemory(n, params.memory_size)
+
+    for _ in range(params.push_steps(n)):
+        senders = np.flatnonzero(active & alive)
+        if active_push_limit is not None and senders.size:
+            senders = senders[push_budget[senders] != 0]
+        targets = reference_open_avoid_one(graph, senders.tolist(), memory, generator)
+        new_best = best_id.copy()
+        for v, u in zip(senders.tolist(), targets):
+            if u < 0:
+                continue  # no neighbour available: nothing sent, nothing charged
+            ledger.record_opens(np.asarray([v]))
+            ledger.record_pushes(np.asarray([v]))
+            if active_push_limit is not None:
+                push_budget[v] = max(push_budget[v] - 1, 0)
+            if not alive[u]:
+                continue
+            if best_id[v] < new_best[u]:
+                new_best[u] = best_id[v]
+        improved = new_best < best_id
+        if active_push_limit is not None and improved.any():
+            push_budget[improved] = int(active_push_limit)
+        active |= improved
+        best_id = new_best
+        ledger.end_round()
+
+    for _ in range(params.pull_steps(n)):
+        callers = np.flatnonzero(alive)
+        targets = reference_open_avoid_one(graph, callers.tolist(), memory, generator)
+        new_best = best_id.copy()
+        for v, u in zip(callers.tolist(), targets):
+            if u < 0:
+                continue
+            ledger.record_opens(np.asarray([v]))
+            if not alive[u]:
+                continue
+            if np.isfinite(best_id[u]):
+                ledger.record_pulls(np.asarray([u]))
+                if best_id[u] < new_best[v]:
+                    new_best[v] = best_id[u]
+        best_id = new_best
+        ledger.end_round()
+
+    ledger.end_phase()
+    leaders = np.flatnonzero(
+        candidate_mask & (best_id == np.arange(n, dtype=np.float64)) & alive
+    )
+    return leaders, candidates, ledger
+
+
+def assert_ledgers_equal(a, b):
+    assert a.rounds == b.rounds
+    assert np.array_equal(a.channel_opens, b.channel_opens)
+    assert np.array_equal(a.push_packets, b.push_packets)
+    assert np.array_equal(a.pull_packets, b.pull_packets)
+    for name in a.phases:
+        assert a.phase_totals(name).as_dict() == b.phase_totals(name).as_dict()
+
+
+def assert_trees_equal(a, b):
+    assert a.root == b.root
+    for attr in (
+        "push_parents", "push_children", "push_steps",
+        "pull_children", "pull_parents", "pull_steps", "informed_step",
+    ):
+        assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
+
+
+@pytest.fixture(scope="module")
+def equivalence_graph():
+    n = 96
+    return erdos_renyi(n, paper_edge_probability(n), rng=77, require_connected=True)
+
+
+class TestMemoryGossipingEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_failures(self, equivalence_graph, seed):
+        params = tuned_memory_gossiping()
+        result = MemoryGossiping(params, leader=0).run(equivalence_graph, rng=seed)
+        trees, knowledge, ledger = reference_memory_run(
+            equivalence_graph, seed, params, leader=0
+        )
+        assert_trees_equal(result.extras["trees"][0], trees[0])
+        assert np.array_equal(result.knowledge.data, knowledge.data)
+        assert_ledgers_equal(result.ledger, ledger)
+
+    @pytest.mark.parametrize("inject_at", ["start", "before_gather"])
+    def test_with_failures(self, equivalence_graph, inject_at):
+        n = equivalence_graph.n
+        params = tuned_memory_gossiping().with_overrides(num_trees=2)
+        plan = sample_uniform_failures(
+            n, n // 8, rng=5, protect=[0], inject_at=inject_at
+        )
+        result = MemoryGossiping(params, leader=0).run(
+            equivalence_graph, rng=9, failures=plan
+        )
+        trees, knowledge, ledger = reference_memory_run(
+            equivalence_graph, 9, params, leader=0, failures=plan
+        )
+        for got, expected in zip(result.extras["trees"], trees):
+            assert_trees_equal(got, expected)
+        assert np.array_equal(result.knowledge.data, knowledge.data)
+        assert_ledgers_equal(result.ledger, ledger)
+
+    def test_first_contacts_mode(self, equivalence_graph):
+        params = tuned_memory_gossiping().with_overrides(gather_contacts="first")
+        result = MemoryGossiping(params, leader=3).run(equivalence_graph, rng=4)
+        trees, knowledge, ledger = reference_memory_run(
+            equivalence_graph, 4, params, leader=3
+        )
+        assert_trees_equal(result.extras["trees"][0], trees[0])
+        assert np.array_equal(result.knowledge.data, knowledge.data)
+        assert_ledgers_equal(result.ledger, ledger)
+
+
+class TestLeaderElectionEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_plain(self, equivalence_graph, seed):
+        params = LeaderElectionParameters()
+        result = LeaderElection(params).run(equivalence_graph, rng=seed)
+        leaders, candidates, ledger = reference_leader_election(
+            equivalence_graph, seed, params
+        )
+        assert np.array_equal(result.leaders, leaders)
+        assert np.array_equal(result.candidates, candidates)
+        assert_ledgers_equal(result.ledger, ledger)
+
+    def test_with_push_limit(self, equivalence_graph):
+        params = LeaderElectionParameters()
+        result = LeaderElection(params, active_push_limit=2).run(
+            equivalence_graph, rng=11
+        )
+        leaders, candidates, ledger = reference_leader_election(
+            equivalence_graph, 11, params, active_push_limit=2
+        )
+        assert np.array_equal(result.leaders, leaders)
+        assert_ledgers_equal(result.ledger, ledger)
+
+    def test_with_failures(self, equivalence_graph):
+        n = equivalence_graph.n
+        params = LeaderElectionParameters()
+        plan = sample_uniform_failures(n, n // 6, rng=21, inject_at="start")
+        result = LeaderElection(params).run(equivalence_graph, rng=13, failures=plan)
+        leaders, candidates, ledger = reference_leader_election(
+            equivalence_graph, 13, params, failures=plan
+        )
+        assert np.array_equal(result.leaders, leaders)
+        assert np.array_equal(result.candidates, candidates)
+        assert_ledgers_equal(result.ledger, ledger)

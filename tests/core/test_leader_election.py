@@ -85,6 +85,46 @@ class TestCost:
         )
 
 
+class TestOpenAccounting:
+    def _graph_with_isolated_node(self):
+        # Nodes 0..5 form a ring; node 6 is isolated but alive.
+        edges = np.asarray([(i, (i + 1) % 6) for i in range(6)], dtype=np.int64)
+        from repro.graphs.adjacency import Adjacency
+
+        return Adjacency.from_edges(7, edges), 6
+
+    def test_isolated_node_never_charged_an_open(self):
+        """A caller with no neighbour opens no channel and sends nothing.
+
+        Regression: the per-node loop recorded an open (and a push packet)
+        even when ``open-avoid`` returned -1, inflating the ledger for
+        isolated-but-alive callers in every step.
+        """
+        graph, isolated = self._graph_with_isolated_node()
+        result = LeaderElection().run(graph, rng=31)
+        assert result.ledger.channel_opens[isolated] == 0
+        assert result.ledger.push_packets[isolated] == 0
+        assert result.ledger.pull_packets[isolated] == 0
+        # Connected nodes participated normally.
+        connected = np.arange(6)
+        assert result.ledger.channel_opens[connected].min() > 0
+
+    def test_push_limit_transmission_counts(self):
+        """With a single candidate every node improves at most once, so the
+        budgeted variant sends at most ``active_push_limit`` push packets per
+        node (the budget is refilled only on strict improvement)."""
+        graph = complete_graph(64)
+        params = LeaderElectionParameters(candidate_probability_factor=1e-9)
+        limit = 3
+        result = LeaderElection(params, active_push_limit=limit).run(graph, rng=33)
+        assert result.candidates.size == 1
+        assert result.leaders.size == 1
+        assert int(result.ledger.push_packets.max()) <= limit
+        # The candidate itself spent its full budget.
+        candidate = int(result.candidates[0])
+        assert result.ledger.push_packets[candidate] == limit
+
+
 class TestRobustness:
     def test_survives_random_failures(self, medium_paper_graph):
         n = medium_paper_graph.n

@@ -131,6 +131,84 @@ class TestMessageComplexity:
         assert result.ledger.phase_totals("phase2-gather").packets > 0
 
 
+class TestRoundAccounting:
+    def test_no_pull_rounds_burned_after_coverage(self, small_paper_graph):
+        """Regression: with ``run_pull_until_complete`` the pull budget used
+        to keep executing ``fanout`` no-op rounds per remaining long-step
+        after every node was already informed, inflating ``rounds``.
+
+        With the fix, Phase I stops right after the pull round that informs
+        the last node, so its round count equals the largest informing step.
+        """
+        result = MemoryGossiping(leader=0).run(small_paper_graph, rng=40)
+        assert result.completed
+        tree = result.extras["trees"][0]
+        assert tree.pull_steps.size > 0  # coverage completed during the pulls
+        phase1 = result.ledger.phase_totals("phase1-tree-construction")
+        assert phase1.rounds == int(tree.informed_step.max())
+
+    def test_phase1_round_count_matches_schedule(self):
+        """Phase I executes exactly the long-steps it runs — ``fanout``
+        rounds per push long-step actually taken, plus pull rounds only while
+        uninformed callers remain."""
+        graph = complete_graph(64)
+        params = tuned_memory_gossiping().with_overrides(push_longsteps_factor=6.0)
+        result = MemoryGossiping(params, leader=0).run(graph, rng=41)
+        tree = result.extras["trees"][0]
+        schedule = params.resolve(graph.n)
+        fanout = schedule.fanout
+        assert tree.pull_steps.size == 0
+        # The last informing long-step is followed by exactly one more
+        # (contact-only) long-step after which the frontier empties.
+        last_informing = int(np.ceil(tree.informed_step.max() / fanout))
+        expected_longsteps = min(last_informing + 1, schedule.push_longsteps)
+        phase1 = result.ledger.phase_totals("phase1-tree-construction")
+        assert phase1.rounds == expected_longsteps * fanout
+
+    def test_pull_budget_respected_when_incomplete(self, small_paper_graph):
+        """Without ``run_pull_until_complete`` the pull phase still runs at
+        most ``pull_longsteps`` long-steps."""
+        params = tuned_memory_gossiping().with_overrides(
+            run_pull_until_complete=False, push_longsteps_factor=0.25
+        )
+        schedule = params.resolve(small_paper_graph.n)
+        result = MemoryGossiping(params, leader=0).run(small_paper_graph, rng=42)
+        phase1 = result.ledger.phase_totals("phase1-tree-construction")
+        max_rounds = (schedule.push_longsteps + schedule.pull_longsteps) * schedule.fanout
+        assert phase1.rounds <= max_rounds
+
+
+class TestCrashedCalleeRecords:
+    def test_dead_callee_contact_recorded_once_and_charged_once(self, small_paper_graph):
+        """Regression: the crashed-callee branch duplicated the record
+        code path; every push contact (dead or alive callee) must appear
+        exactly once and cost exactly one open + one push packet."""
+        n = small_paper_graph.n
+        plan = sample_uniform_failures(n, n // 4, rng=43, protect=[0], inject_at="start")
+        alive = plan.alive_mask(n)
+        result = MemoryGossiping(leader=0).run(small_paper_graph, rng=44, failures=plan)
+        tree = result.extras["trees"][0]
+        # One packet and one open per recorded push contact.
+        phase1 = result.ledger.phase_totals("phase1-tree-construction")
+        assert phase1.push_packets == tree.num_push_edges
+        # Opens = push contacts + pull-phase opens; the latter are at least
+        # the answered pulls, so the push side pins exactly one open each.
+        assert phase1.channel_opens - phase1.pull_packets >= tree.num_push_edges
+        # Contacts to crashed callees exist but never inform them.
+        dead_children = tree.push_children[~alive[tree.push_children]]
+        assert dead_children.size > 0
+        assert np.all(tree.informed_step[~alive] == -1)
+        # No (parent, child, step) triple is recorded twice.
+        triples = set(
+            zip(
+                tree.push_parents.tolist(),
+                tree.push_children.tolist(),
+                tree.push_steps.tolist(),
+            )
+        )
+        assert len(triples) == tree.num_push_edges
+
+
 class TestFailures:
     def test_failures_before_gather_lose_few_messages(self, medium_paper_graph):
         n = medium_paper_graph.n

@@ -1,0 +1,98 @@
+"""Tests for repro.core.node_memory (shared vectorized ring buffer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node_memory import NodeMemory, open_avoid_fanout, open_avoid_one
+from repro.engine.rng import make_rng
+from repro.graphs.adjacency import Adjacency
+
+
+def star_graph(n: int) -> Adjacency:
+    edges = np.column_stack([np.zeros(n - 1, dtype=np.int64), np.arange(1, n)])
+    return Adjacency.from_edges(n, edges)
+
+
+class TestNodeMemory:
+    def test_store_many_matches_sequential_stores(self):
+        batched = NodeMemory(6, 4)
+        sequential = NodeMemory(6, 4)
+        nodes = np.asarray([0, 2, 5], dtype=np.int64)
+        addresses = np.asarray([[1, 3], [4, -1], [0, 2]], dtype=np.int64)
+        batched.store_many(nodes, addresses)
+        for node, row in zip(nodes.tolist(), addresses.tolist()):
+            for address in row:
+                if address >= 0:
+                    sequential.store(node, address)
+        assert np.array_equal(batched.slots, sequential.slots)
+        assert np.array_equal(batched.pointer, sequential.pointer)
+
+    def test_ring_buffer_wraps(self):
+        memory = NodeMemory(2, 2)
+        memory.store_many(np.asarray([0]), np.asarray([[10, 11, 12]]))
+        # Three stores in a two-slot buffer: the first address is evicted.
+        assert sorted(memory.remembered(0).tolist()) == [11, 12]
+        assert memory.pointer[0] == 3
+
+    def test_negative_addresses_skipped(self):
+        memory = NodeMemory(3, 4)
+        memory.store_many(np.asarray([0, 1]), np.asarray([-1, 2]))
+        assert memory.remembered(0).size == 0
+        assert memory.remembered(1).tolist() == [2]
+
+    def test_avoid_rows_is_a_copy(self):
+        memory = NodeMemory(3, 2)
+        memory.store(1, 2)
+        rows = memory.avoid_rows(np.asarray([1]))
+        rows[0, 0] = 99
+        assert 99 not in memory.slots
+
+
+class TestOpenAvoidKernels:
+    def test_open_avoid_one_stores_and_avoids(self):
+        graph = star_graph(6)
+        memory = NodeMemory(6, 4)
+        rng = make_rng(1)
+        seen = []
+        for _ in range(4):
+            target = open_avoid_one(graph, np.asarray([0]), memory, rng)[0]
+            assert target not in seen  # memory blocks re-contacting
+            seen.append(int(target))
+        assert sorted(seen) == sorted(memory.remembered(0).tolist())
+
+    def test_open_avoid_one_falls_back_when_memory_blocks_all(self):
+        # Node 1's only neighbour is 0; once stored, the avoid sample fails
+        # and the uniform fallback must re-open the same channel.
+        graph = star_graph(3)
+        memory = NodeMemory(3, 4)
+        rng = make_rng(2)
+        assert open_avoid_one(graph, np.asarray([1]), memory, rng)[0] == 0
+        assert open_avoid_one(graph, np.asarray([1]), memory, rng)[0] == 0
+        # The fallback contact is stored again (duplicate slots are legal).
+        assert memory.remembered(1).tolist() == [0, 0]
+
+    def test_open_avoid_one_isolated_node_untouched(self):
+        """An isolated caller opens no channel and stores nothing — the
+        ledger-accounting contract of the open-accounting bugfix."""
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1]]))
+        memory = NodeMemory(3, 4)
+        targets = open_avoid_one(graph, np.asarray([2, 0]), memory, make_rng(3))
+        assert targets[0] == -1
+        assert memory.remembered(2).size == 0
+        assert memory.pointer[2] == 0
+        assert targets[1] == 1
+
+    def test_open_avoid_fanout_distinct_no_fallback(self):
+        graph = star_graph(5)
+        memory = NodeMemory(5, 4)
+        targets = open_avoid_fanout(graph, np.asarray([0]), memory, make_rng(4), 4)
+        row = targets[0]
+        assert len(set(row.tolist())) == 4
+        # Memory now blocks everything; without fallback the next call
+        # returns only -1 entries and stores nothing new.
+        pointer = memory.pointer[0]
+        again = open_avoid_fanout(graph, np.asarray([0]), memory, make_rng(5), 4)
+        assert np.all(again == -1)
+        assert memory.pointer[0] == pointer

@@ -151,6 +151,141 @@ class TestSampling:
         assert set(picked.tolist()) == {1}
 
 
+class TestSampleAvoidingMany:
+    """The batched open-avoid kernel (one searchsorted pass, skip-sampling)."""
+
+    def _scalar_reference(self, graph, nodes, uniforms, avoid, count):
+        out = np.full((len(nodes), count), -1, dtype=np.int64)
+        for i, v in enumerate(nodes):
+            nbrs = graph.neighbors(v).tolist()
+            excluded = []
+            if avoid is not None:
+                for a in avoid[i]:
+                    if a < 0:
+                        continue
+                    if a in nbrs and nbrs.index(a) not in excluded:
+                        excluded.append(nbrs.index(a))
+            excluded.sort()
+            for j in range(count):
+                pool = len(nbrs) - len(excluded)
+                if pool <= 0:
+                    break
+                rank = min(int(uniforms[i, j] * pool), pool - 1)
+                for position in excluded:
+                    if rank >= position:
+                        rank += 1
+                out[i, j] = nbrs[rank]
+                excluded.append(rank)
+                excluded.sort()
+        return out
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_skip_sampling(self, seed):
+        """Batch output is bit-identical to the per-node reference given the
+        documented stream discipline (one ``rng.random((m, count))`` draw)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 48))
+        graph = Adjacency.from_edges(
+            n, rng.integers(0, n, (4 * n, 2)).astype(np.int64)
+        )
+        m = int(rng.integers(1, 3 * n))
+        nodes = rng.integers(0, n, m).astype(np.int64)
+        count = int(rng.integers(1, 5))
+        avoid = rng.integers(-1, n, (m, 4)).astype(np.int64)
+        sample_seed = int(rng.integers(1 << 31))
+        got = graph.sample_neighbors_avoiding_many(
+            nodes, make_rng(sample_seed), avoid=avoid, count=count
+        )
+        uniforms = make_rng(sample_seed).random((m, count))
+        expected = self._scalar_reference(graph, nodes.tolist(), uniforms, avoid, count)
+        assert np.array_equal(got, expected)
+
+    def test_avoid_and_distinctness_respected(self):
+        graph = Adjacency.from_edges(6, np.asarray([[0, i] for i in range(1, 6)]))
+        nodes = np.zeros(64, dtype=np.int64)
+        avoid = np.full((64, 2), -1, dtype=np.int64)
+        avoid[:, 0] = 1
+        picked = graph.sample_neighbors_avoiding_many(
+            nodes, make_rng(9), avoid=avoid, count=3
+        )
+        assert picked.shape == (64, 3)
+        for row in picked:
+            assert 1 not in row.tolist()
+            assert len(set(row.tolist())) == 3
+            assert set(row.tolist()) <= {2, 3, 4, 5}
+
+    def test_shortfall_padded_with_minus_one_trailing(self):
+        graph = Adjacency.from_edges(4, np.asarray([[0, 1], [0, 2], [0, 3]]))
+        avoid = np.asarray([[1, -1]], dtype=np.int64)
+        picked = graph.sample_neighbors_avoiding_many(
+            np.zeros(1, dtype=np.int64), make_rng(10), avoid=avoid, count=4
+        )
+        assert picked.shape == (1, 4)
+        assert set(picked[0, :2].tolist()) == {2, 3}
+        assert picked[0, 2:].tolist() == [-1, -1]
+
+    def test_isolated_node_gets_no_sample(self):
+        graph = Adjacency.from_edges(3, np.asarray([[0, 1]]))
+        picked = graph.sample_neighbors_avoiding_many(
+            np.asarray([2, 0], dtype=np.int64), make_rng(11), count=1
+        )
+        assert picked[0, 0] == -1
+        assert picked[1, 0] == 1
+
+    def test_duplicate_avoid_entries_not_double_counted(self):
+        graph = Adjacency.from_edges(4, np.asarray([[0, 1], [0, 2], [0, 3]]))
+        avoid = np.asarray([[1, 1, 1, -1]], dtype=np.int64)
+        for seed in range(10):
+            picked = graph.sample_neighbors_avoiding_many(
+                np.zeros(1, dtype=np.int64), make_rng(seed), avoid=avoid, count=2
+            )
+            assert set(picked[0].tolist()) == {2, 3}
+
+    def test_empty_inputs(self):
+        graph = path_graph(3)
+        assert graph.sample_neighbors_avoiding_many(
+            np.zeros(0, dtype=np.int64), make_rng(0), count=2
+        ).shape == (0, 2)
+        assert graph.sample_neighbors_avoiding_many(
+            np.zeros(4, dtype=np.int64), make_rng(0), count=0
+        ).shape == (4, 0)
+
+    def test_stream_consumption_is_shape_only(self):
+        """The draw count depends only on (m, count), never on degrees, so
+        interleaved protocols stay reproducible."""
+        graph = Adjacency.from_edges(5, np.asarray([[0, 1], [0, 2], [3, 4]]))
+        rng_a = make_rng(21)
+        rng_b = make_rng(21)
+        graph.sample_neighbors_avoiding_many(
+            np.asarray([0, 3], dtype=np.int64), rng_a, count=2
+        )
+        rng_b.random((2, 2))
+        assert rng_a.random() == rng_b.random()
+
+    def test_neighbor_positions(self):
+        graph = Adjacency.from_edges(5, np.asarray([[0, 1], [0, 3], [2, 3]]))
+        nodes = np.asarray([0, 0, 0, 2, 4], dtype=np.int64)
+        values = np.asarray([1, 2, 3, 3, 0], dtype=np.int64)
+        assert graph.neighbor_positions(nodes, values).tolist() == [0, -1, 1, 0, -1]
+
+    def test_out_of_range_avoid_addresses_are_ignored(self):
+        """Regression: an avoid address >= n used to alias into the next
+        node's key range and exclude a phantom neighbour."""
+        graph = Adjacency.from_edges(
+            3, np.asarray([[0, 1], [0, 2], [1, 2]])
+        )  # triangle
+        nodes = np.asarray([0, 0], dtype=np.int64)
+        values = np.asarray([3, -7], dtype=np.int64)
+        assert graph.neighbor_positions(nodes, values).tolist() == [-1, -1]
+        picked = graph.sample_neighbors_avoiding_many(
+            np.zeros(1, dtype=np.int64),
+            make_rng(12),
+            avoid=np.asarray([[3, -1]], dtype=np.int64),
+            count=2,
+        )
+        assert set(picked[0].tolist()) == {1, 2}
+
+
 class TestTraversal:
     def test_bfs_distances_path(self):
         graph = path_graph(6)

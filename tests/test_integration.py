@@ -117,8 +117,14 @@ class TestFailureResilience:
         )
         alive = plan.alive_mask(n)
         # Healthy nodes learned the overwhelming majority of healthy messages.
+        # This is a with-high-probability property: a node whose every
+        # informing contact crashes before Phase II is cut off from the
+        # replay, so assert over the population rather than the single
+        # unluckiest node.
         counts = result.knowledge.counts()[alive]
-        assert counts.min() >= 0.9 * (n - n // 10)
+        well_informed = counts >= 0.9 * (n - n // 10)
+        assert well_informed.mean() >= 0.99
+        assert np.median(counts) >= 0.99 * (n - n // 10)
         # Failed nodes never transmitted anything.
         per_node = result.ledger.per_node(MessageAccounting.OPENS_AND_PACKETS)
         phase1_only = result.ledger.phase_totals("phase1-tree-construction")
