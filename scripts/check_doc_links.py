@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fail if README/docs markdown links point at missing files.
+
+Scans the repository's documentation surface (``README.md`` and
+``docs/*.md``) for markdown links and verifies every *intra-repository*
+target resolves to an existing file or directory. External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+ignored; a ``path#anchor`` target is checked for the file part only.
+
+Used by the ``docs`` CI job; run locally with::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Markdown inline links: [text](target) — excluding images' extra "!" is
+#: unnecessary (image targets must exist too).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[str]:
+    files = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def iter_links(path: str) -> Iterator[Tuple[int, str]]:
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for match in _LINK.finditer(line):
+                yield lineno, match.group(1)
+
+
+def main() -> int:
+    broken: List[str] = []
+    checked = 0
+    for doc in doc_files():
+        base = os.path.dirname(doc)
+        rel_doc = os.path.relpath(doc, REPO_ROOT)
+        for lineno, target in iter_links(doc):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                broken.append(f"{rel_doc}:{lineno}: broken link -> {target}")
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken intra-repo link(s).")
+        return 1
+    print(f"OK: {checked} intra-repo links across {len(doc_files())} files.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,8 +35,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro import FastGossiping, MemoryGossiping, PushPullGossip, erdos_renyi
-from repro.engine import KnowledgeMatrix, make_rng
+from repro.engine import FrontierKnowledge, KnowledgeMatrix, make_rng
 from repro.engine import _ckernel
+from repro.engine.knowledge import _DEFAULT_CROSSOVER, _FRONTIER_MIN_WORDS
 from repro.graphs import paper_edge_probability
 
 SIZES = (1000, 5000, 20000)
@@ -91,9 +92,44 @@ def kernel_entry(n: int, repeats: int) -> Dict[str, object]:
     scatter_wall, _ = best_of(
         lambda: km.apply_transmissions(senders, receivers), repeats
     )
-    return {
+    entry = {
         "exchange_round_ms": round(exchange_wall * 1000, 4),
         "scatter_batch_ms": round(scatter_wall * 1000, 4),
+    }
+    entry.update(frontier_phase_entry(n, repeats))
+    return entry
+
+
+def frontier_phase_entry(n: int, repeats: int) -> Dict[str, object]:
+    """Frontier-phase timings: the first 5 exchange rounds from a cold start.
+
+    Early rounds are where the sparsity-aware path earns its keep, so this
+    times the identical channel sequence on a fresh ``FrontierKnowledge``
+    versus a fresh dense ``KnowledgeMatrix`` (state construction included —
+    protocol runs pay it too).  Five rounds cover the sparse regime and the
+    first dense hand-offs at every benchmarked size.
+    """
+    rng = make_rng(29)
+    rounds = []
+    for _ in range(5):
+        callers = np.arange(n, dtype=np.int64)
+        rounds.append((callers, rng.integers(0, n, n).astype(np.int64)))
+
+    def run(cls):
+        km = cls(n)
+        for callers, targets in rounds:
+            km.apply_exchange(callers, targets)
+        return km
+
+    dense_wall, _ = best_of(lambda: run(KnowledgeMatrix), repeats)
+    frontier_wall, result = best_of(lambda: run(FrontierKnowledge), repeats)
+    return {
+        "early5_dense_ms": round(dense_wall * 1000, 4),
+        "early5_frontier_ms": round(frontier_wall * 1000, 4),
+        "early5_frontier_speedup": round(dense_wall / frontier_wall, 2)
+        if frontier_wall > 0
+        else None,
+        "frontier_rows_after5": round(result.frontier_fraction(), 4),
     }
 
 
@@ -121,8 +157,8 @@ def memory_kernel_entry(graph, repeats: int) -> Dict[str, object]:
 
     build_wall, tree = best_of(build, repeats)
 
-    def replay():
-        knowledge = KnowledgeMatrix(graph.n)
+    def replay(knowledge_cls):
+        knowledge = knowledge_cls(graph.n)
         ledger = TransmissionLedger(graph.n)
         protocol._gather(
             tree, knowledge, ledger, alive=None, contacts=schedule.gather_contacts
@@ -132,10 +168,14 @@ def memory_kernel_entry(graph, repeats: int) -> Dict[str, object]:
         )
         return knowledge
 
-    replay_wall, _ = best_of(replay, repeats)
+    replay_wall, _ = best_of(lambda: replay(KnowledgeMatrix), repeats)
+    # The same replay on frontier knowledge: Phase II gathers are word-sparse
+    # (most rows hold a couple of words), Phase III ratchets dense.
+    replay_frontier_wall, _ = best_of(lambda: replay(FrontierKnowledge), repeats)
     return {
         "tree_build_ms": round(build_wall * 1000, 4),
         "replay_ms": round(replay_wall * 1000, 4),
+        "replay_frontier_ms": round(replay_frontier_wall * 1000, 4),
         "tree_push_edges": int(tree.num_push_edges),
         "tree_pull_edges": int(tree.num_pull_edges),
     }
@@ -167,6 +207,13 @@ def main() -> int:
             f"{args.repeats}."
         ),
         "compiled_kernel": _ckernel.available(),
+        "frontier": {
+            "enabled": not bool(os.environ.get("REPRO_DISABLE_FRONTIER")),
+            "crossover": float(
+                os.environ.get("REPRO_FRONTIER_CROSSOVER", _DEFAULT_CROSSOVER)
+            ),
+            "min_words": _FRONTIER_MIN_WORDS,
+        },
         "numpy_version": np.__version__,
         "python_version": platform.python_version(),
         "machine": platform.machine(),
@@ -216,7 +263,14 @@ def main() -> int:
         mk = entry["memory_kernel"]
         print(
             f"  n={n:>6} {'memory-kernel':<15} tree={mk['tree_build_ms']:.2f}ms "
-            f"replay={mk['replay_ms']:.2f}ms"
+            f"replay={mk['replay_ms']:.2f}ms "
+            f"replay-frontier={mk['replay_frontier_ms']:.2f}ms"
+        )
+        kr = entry["kernel"]
+        print(
+            f"  n={n:>6} {'frontier-early5':<15} dense={kr['early5_dense_ms']:.2f}ms "
+            f"frontier={kr['early5_frontier_ms']:.2f}ms "
+            f"({kr['early5_frontier_speedup']}x)"
         )
     return 0
 

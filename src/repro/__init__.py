@@ -37,6 +37,12 @@ per-walk Python loop survives on the per-round hot path.
 * Random-walk queues (:class:`repro.core.WalkPool`) live in flat arrays:
   deliveries merge payloads by destination in one vectorised pass and each
   forwarding step pops the oldest walk per host with a single lexsort.
+* Early rounds are sparsity-aware: protocols run on
+  :class:`repro.engine.FrontierKnowledge`, which tracks each row's nonzero
+  words as an index frontier and scatters only the words actually in flight
+  while batches are sparse, falling back (one-way) to the dense kernels as
+  rows saturate past the crossover threshold.  Set
+  ``REPRO_DISABLE_FRONTIER=1`` to force the dense path (bit-identical).
 * When a C compiler is available, :mod:`repro.engine._ckernel` compiles a
   tiny scatter-OR / popcount library at first import (cached per machine)
   that the kernels dispatch to automatically; set ``REPRO_DISABLE_CKERNEL=1``
@@ -67,6 +73,7 @@ from .core import (
 )
 from .engine import (
     FailurePlan,
+    FrontierKnowledge,
     KnowledgeMatrix,
     MessageAccounting,
     NO_FAILURES,
@@ -109,6 +116,7 @@ __all__ = [
     "tuned_fast_gossiping",
     "tuned_memory_gossiping",
     "FailurePlan",
+    "FrontierKnowledge",
     "KnowledgeMatrix",
     "MessageAccounting",
     "NO_FAILURES",

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..engine.channels import open_channels
 from ..engine.failures import NO_FAILURES, FailurePlan
-from ..engine.knowledge import KnowledgeMatrix
+from ..engine.knowledge import KnowledgeMatrix, adaptive_knowledge
 from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState
 from ..engine.trace import SpreadingTrace
@@ -78,7 +78,10 @@ class FastGossiping(GossipProtocol):
         alive_mask: Optional[np.ndarray] = None if failures.is_empty() else alive
 
         schedule = self.params.resolve(graph.n)
-        knowledge = KnowledgeMatrix(graph.n)
+        # Frontier (sparsity-aware) knowledge: Phase I distribution steps are
+        # the sparse extreme; rows ratchet dense as walks and broadcasts fill
+        # them (walk deliveries notify the matrix of their direct writes).
+        knowledge = adaptive_knowledge(graph.n)
         ledger = TransmissionLedger(graph.n)
         trace = SpreadingTrace(enabled=record_trace)
 

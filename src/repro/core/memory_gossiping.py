@@ -26,6 +26,25 @@ Phase I, crash ``F`` random nodes right before Phase II and count how many
 healthy nodes' original messages are missing at the root afterwards; the
 :class:`MemoryGossiping` protocol exposes exactly these quantities in its
 result extras.
+
+Implementation notes (the batched kernels)
+------------------------------------------
+All three phases are fully batched — there is no per-node Python loop on
+the hot path.  Phase I processes the whole frontier per push long-step and
+every still-uninformed caller per pull step through the batched
+``open-avoid`` samplers (:mod:`repro.core.node_memory`,
+:meth:`repro.graphs.adjacency.Adjacency.sample_neighbors_avoiding_many`).
+The Phase II/III replays apply each recorded per-step edge group as one
+scatter-OR batch against start-of-round state, and :class:`_ReplayBatcher`
+merges consecutive groups whose senders do not collide with pending
+receivers into single batches (bit-identical; see
+``docs/architecture.md``).  The replays run word-sparsely on
+:class:`~repro.engine.knowledge.FrontierKnowledge` while rows are thin.
+``tests/core/test_batched_equivalence.py`` pins Phases I–III and the
+leader election bit-identically to per-node reference loops sharing the
+documented RNG stream discipline;
+``tests/engine/test_frontier_knowledge.py`` pins the batcher and the
+frontier path.
 """
 
 from __future__ import annotations
@@ -36,7 +55,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..engine.failures import NO_FAILURES, FailurePlan
-from ..engine.knowledge import KnowledgeMatrix
+from ..engine.knowledge import KnowledgeMatrix, adaptive_knowledge
 from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState, make_rng, spawn_rngs
 from ..engine.trace import SpreadingTrace
@@ -164,6 +183,53 @@ def _concat(chunks: List[np.ndarray]) -> np.ndarray:
     return np.concatenate(chunks)
 
 
+class _ReplayBatcher:
+    """Merges consecutive replay step groups into single scatter-OR batches.
+
+    The Phase II/III replays apply one small edge group per recorded Phase I
+    step, so at large ``n`` they are bound by per-group row gathers.  Two
+    consecutive groups can be applied as *one* snapshot-gather + scatter-OR
+    batch whenever the later group's senders are disjoint from every pending
+    receiver: no merged sender row is then touched by the pending writes, so
+    reading all rows up front is bit-identical to replaying the groups in
+    sequence.  (Duplicate receivers are already order-independent — every
+    transmission of a batch ORs snapshot values.)
+
+    Only the knowledge update is batched.  Ledger accounting — opens, packet
+    counters and ``end_round`` — stays with the caller per step group, so
+    round counts and per-node costs are unchanged.
+    """
+
+    __slots__ = ("_knowledge", "_receiver_hit", "_senders", "_receivers")
+
+    def __init__(self, knowledge: KnowledgeMatrix) -> None:
+        self._knowledge = knowledge
+        self._receiver_hit = np.zeros(knowledge.n_nodes, dtype=bool)
+        self._senders: List[np.ndarray] = []
+        self._receivers: List[np.ndarray] = []
+
+    def add(self, senders: np.ndarray, receivers: np.ndarray) -> None:
+        """Queue one step group, flushing first if any sender was written."""
+        if senders.size == 0:
+            return
+        if self._senders and self._receiver_hit[senders].any():
+            self.flush()
+        self._senders.append(senders)
+        self._receivers.append(receivers)
+        self._receiver_hit[receivers] = True
+
+    def flush(self) -> None:
+        """Apply all pending groups as one transmission batch."""
+        if not self._senders:
+            return
+        senders = _concat(self._senders)
+        receivers = _concat(self._receivers)
+        self._senders.clear()
+        self._receivers.clear()
+        self._receiver_hit[receivers] = False
+        self._knowledge.apply_transmissions(senders, receivers)
+
+
 class MemoryGossiping(GossipProtocol):
     """Algorithm 2 of the paper: memory-model gossiping with a leader.
 
@@ -222,7 +288,10 @@ class MemoryGossiping(GossipProtocol):
 
         ledger = TransmissionLedger(n)
         trace = SpreadingTrace(enabled=record_trace)
-        knowledge = KnowledgeMatrix(n)
+        # Frontier (sparsity-aware) knowledge: Phase I rows hold only the
+        # leader's message, so the Phase II gather replays word-sparsely and
+        # rows ratchet dense as the broadcast cascades the full set back down.
+        knowledge = adaptive_knowledge(n)
 
         # Failure masks.  Failures at 'start' apply to every phase; failures
         # at 'before_gather' (the paper's robustness setting) only constrain
@@ -487,15 +556,17 @@ class MemoryGossiping(GossipProtocol):
     ) -> None:
         """Replay the recorded contacts in reverse order, one round per step.
 
-        Every per-step edge group is applied as one batched scatter-OR
-        (:meth:`KnowledgeMatrix.apply_transmissions`), so all edges of a
-        group read the same start-of-round state — the synchronous-model
-        snapshot discipline used by every other kernel.  Correctness only
-        relies on cross-group ordering (a node's informing contact lies in a
-        strictly earlier Phase I step than its outgoing contacts), which the
-        step grouping preserves.
+        Edges recorded in the same Phase I step form one group whose
+        transmissions all read the same start-of-round state — the
+        synchronous-model snapshot discipline used by every other kernel.
+        Correctness only relies on cross-group ordering (a node's informing
+        contact lies in a strictly earlier Phase I step than its outgoing
+        contacts), so consecutive groups whose senders are disjoint from the
+        pending receivers are merged by :class:`_ReplayBatcher` into single
+        scatter-OR batches (bit-identical; round accounting unchanged).
         """
         push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
+        batcher = _ReplayBatcher(knowledge)
         # First the pull-phase attachments, children first (reverse step
         # order): each node pushes everything it has to the node it pulled
         # the leader's message from.  Edges recorded in the same Phase I step
@@ -512,10 +583,11 @@ class MemoryGossiping(GossipProtocol):
                 ledger.record_pushes(children)
                 if alive is not None:
                     delivered = alive[parents]  # crashed recipient drops it
-                    knowledge.apply_transmissions(children[delivered], parents[delivered])
+                    batcher.add(children[delivered], parents[delivered])
                 else:
-                    knowledge.apply_transmissions(children, parents)
+                    batcher.add(children, parents)
             ledger.end_round()
+        batcher.flush()
         # Then the push-phase contacts in reverse chronological order: the
         # parent re-opens the stored channel and the child answers with a pull
         # carrying all original messages it has accumulated so far.
@@ -533,8 +605,9 @@ class MemoryGossiping(GossipProtocol):
                 parents, children = parents[answering], children[answering]
             if children.size:
                 ledger.record_pulls(children)
-                knowledge.apply_transmissions(children, parents)
+                batcher.add(children, parents)
             ledger.end_round()
+        batcher.flush()
 
     # ------------------------------------------------------------------ #
     # Phase III — broadcast back down the tree
@@ -552,9 +625,11 @@ class MemoryGossiping(GossipProtocol):
         # sender's current combined message.  Because a node's own informing
         # contact happened strictly before its outgoing contacts, the leader's
         # complete set cascades down the tree in a single pass.  As in
-        # :meth:`_gather`, each per-step group is one batched scatter-OR
-        # against the start-of-round state.
+        # :meth:`_gather`, each per-step group reads start-of-round state, and
+        # consecutive groups with non-colliding senders are merged into single
+        # scatter-OR batches by :class:`_ReplayBatcher`.
         push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
+        batcher = _ReplayBatcher(knowledge)
         all_steps = np.concatenate([push_steps, tree.pull_steps])
         push_count = push_steps.size
         for edge_indices in _steps_ascending(all_steps):
@@ -584,11 +659,12 @@ class MemoryGossiping(GossipProtocol):
                 p_delivered = alive[p_receivers]
                 p_senders = p_senders[p_delivered]
                 p_receivers = p_receivers[p_delivered]
-            knowledge.apply_transmissions(
+            batcher.add(
                 np.concatenate([p_senders, l_senders]),
                 np.concatenate([p_receivers, l_receivers]),
             )
             ledger.end_round()
+        batcher.flush()
 
     # ------------------------------------------------------------------ #
     # Robustness bookkeeping

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..engine.channels import open_channels
 from ..engine.failures import NO_FAILURES, FailurePlan
-from ..engine.knowledge import KnowledgeMatrix
+from ..engine.knowledge import adaptive_knowledge
 from ..engine.metrics import TransmissionLedger
 from ..engine.rng import RandomState
 from ..engine.trace import SpreadingTrace
@@ -60,7 +60,9 @@ class PushPullGossip(GossipProtocol):
         alive = failures.alive_mask(graph.n)
         alive_nodes = np.flatnonzero(alive)
 
-        knowledge = KnowledgeMatrix(graph.n)
+        # Frontier (sparsity-aware) knowledge: early rounds scatter only the
+        # words in flight; rows ratchet onto the dense kernels as they fill.
+        knowledge = adaptive_knowledge(graph.n)
         ledger = TransmissionLedger(graph.n)
         trace = SpreadingTrace(enabled=record_trace)
         ledger.begin_phase("push-pull")

@@ -194,6 +194,9 @@ class WalkPool:
             knowledge.data[unique_dests] |= merged
             segment_sizes = np.diff(np.r_[boundaries, d_sorted.size])
             self.payloads[w_sorted] |= np.repeat(node_rows, segment_sizes, axis=0)
+        # The rows were mutated through ``knowledge.data`` directly; tell the
+        # matrix so the frontier bookkeeping stays consistent.
+        knowledge.notify_rows_written(dests)
         # Enqueue in arrival order (FIFO per destination).
         self._host[walk_ids] = dests
         self._seq[walk_ids] = self._next_seq + np.arange(walk_ids.size)

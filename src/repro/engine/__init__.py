@@ -11,7 +11,13 @@ bookkeeping (:mod:`repro.engine.channels`), communication-cost accounting
 
 from .channels import ChannelSet, open_channels
 from .failures import NO_FAILURES, FailurePlan, sample_uniform_failures
-from .knowledge import KnowledgeMatrix, SingleMessageState, WORD_BITS
+from .knowledge import (
+    FrontierKnowledge,
+    KnowledgeMatrix,
+    SingleMessageState,
+    WORD_BITS,
+    adaptive_knowledge,
+)
 from .metrics import MessageAccounting, PhaseTotals, TransmissionLedger
 from .rng import RandomState, derive_seed, ensure_rng, make_rng, spawn_rngs
 from .trace import RoundRecord, SpreadingTrace
@@ -22,9 +28,11 @@ __all__ = [
     "NO_FAILURES",
     "FailurePlan",
     "sample_uniform_failures",
+    "FrontierKnowledge",
     "KnowledgeMatrix",
     "SingleMessageState",
     "WORD_BITS",
+    "adaptive_knowledge",
     "MessageAccounting",
     "PhaseTotals",
     "TransmissionLedger",

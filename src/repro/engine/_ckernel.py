@@ -34,6 +34,7 @@ __all__ = [
     "available",
     "exchange",
     "push_round",
+    "frontier_scatter",
     "recount_deficits",
     "scatter_or",
 ]
@@ -87,6 +88,59 @@ void repro_scatter_or(uint64_t *data, const uint64_t *source,
         const uint64_t *s = source + src[i] * words;
         for (int64_t w = 0; w < words; w++) {
             d[w] |= s[w];
+        }
+    }
+}
+
+/* The frontier (sparsity-aware) transmission pass.  Every sender row lists
+ * its nonzero words in `active` (row-major, `cap` slots per row, `nnz[s]`
+ * valid); a transmission contributes only those (word, value) pairs.
+ *
+ * Pass 1 gathers all pair values and linear targets into the caller-sized
+ * buffers BEFORE any write — the snapshot-read / live-write semantics of a
+ * synchronous round — so duplicate targets merge order-independently.
+ * Pass 2 scatters and maintains the frontier bookkeeping in place: a newly
+ * activated word is appended to the receiver's list, and a receiver pushed
+ * past `cap` ratchets onto the dense path (dense_rows).  The bookkeeping
+ * only steers future path decisions; the data result is bit-identical to
+ * the dense kernels. */
+void repro_frontier_scatter(uint64_t *data, int32_t *active, int64_t *nnz,
+                            uint8_t *word_active, uint8_t *dense_rows,
+                            int64_t cap, int64_t words,
+                            const int64_t *src, const int64_t *dst, int64_t k,
+                            uint64_t *val_buf, int64_t *lin_buf) {
+    int64_t p = 0;
+    for (int64_t i = 0; i < k; i++) {
+        const int64_t s = src[i];
+        const uint64_t *row = data + s * words;
+        const int32_t *aw = active + s * cap;
+        const int64_t m = nnz[s];
+        const int64_t base = dst[i] * words;
+        for (int64_t j = 0; j < m; j++) {
+            const int64_t w = aw[j];
+            val_buf[p] = row[w];
+            lin_buf[p] = base + w;
+            p++;
+        }
+    }
+    for (int64_t q = 0; q < p; q++) {
+        const int64_t lin = lin_buf[q];
+        data[lin] |= val_buf[q];
+        if (!word_active[lin]) {
+            /* Fresh activation: rare once a round is under way, so the
+             * divide and the list append stay off the common path.  (The
+             * mask is also set for dense-flagged rows — harmless, it is
+             * never read for them again.) */
+            word_active[lin] = 1;
+            const int64_t r = lin / words;
+            if (!dense_rows[r]) {
+                if (nnz[r] < cap) {
+                    active[r * cap + nnz[r]] = (int32_t)(lin - r * words);
+                    nnz[r] += 1;
+                } else {
+                    dense_rows[r] = 1;
+                }
+            }
         }
     }
 }
@@ -195,6 +249,12 @@ def _build() -> Optional[ctypes.CDLL]:
     i64 = ctypes.c_int64
     lib.repro_scatter_or.argtypes = [u64p, u64p, i64p, i64p, i64, i64]
     lib.repro_scatter_or.restype = None
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i32p = ctypes.POINTER(ctypes.c_int32)
+    lib.repro_frontier_scatter.argtypes = [
+        u64p, i32p, i64p, u8p, u8p, i64, i64, i64p, i64p, i64, u64p, i64p,
+    ]
+    lib.repro_frontier_scatter.restype = None
     lib.repro_recount.argtypes = [u64p, u64p, i64p, i64, i64, i64p]
     lib.repro_recount.restype = None
     lib.repro_exchange.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64]
@@ -278,6 +338,46 @@ def push_round(
         ctypes.c_int64(senders.size),
         ctypes.c_int64(data.shape[0]),
         ctypes.c_int64(data.shape[1]),
+    )
+
+
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+_I32P = ctypes.POINTER(ctypes.c_int32)
+
+
+def frontier_scatter(
+    data: np.ndarray,
+    active: np.ndarray,
+    nnz: np.ndarray,
+    word_active: np.ndarray,
+    dense_rows: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    val_buf: np.ndarray,
+    lin_buf: np.ndarray,
+) -> None:
+    """Apply one word-sparse transmission batch with frontier bookkeeping.
+
+    ``active``/``nnz``/``word_active``/``dense_rows`` are the
+    :class:`~repro.engine.knowledge.FrontierKnowledge` bookkeeping arrays
+    (mutated in place); ``val_buf``/``lin_buf`` are caller-managed pair
+    buffers of at least ``nnz[senders].sum()`` elements (reused across
+    rounds to avoid per-round page faults).  All arrays must be
+    C-contiguous; index arrays int64.
+    """
+    _LIB.repro_frontier_scatter(
+        _u64(data),
+        active.ctypes.data_as(_I32P),
+        _i64(nnz),
+        word_active.ctypes.data_as(_U8P),
+        dense_rows.ctypes.data_as(_U8P),
+        ctypes.c_int64(active.shape[1]),
+        ctypes.c_int64(data.shape[1]),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        _u64(val_buf),
+        _i64(lin_buf),
     )
 
 

@@ -5,30 +5,61 @@ starts with one original message and every node must eventually know all ``n``
 messages.  The simulator therefore has to track, for every node, the *set* of
 original messages it currently knows.  A dense boolean ``n x n`` matrix would
 need ``n**2`` bytes; instead we pack message sets into rows of 64-bit words,
-which both reduces memory by a factor of eight and turns message-set unions
-(the only mutation the random phone call model needs) into a handful of
-vectorised ``|=`` operations.
+which reduces memory by a factor of eight and turns message-set unions (the
+only mutation the random phone call model needs) into batched scatter-OR
+kernels.
 
-Two classes are provided:
+All bulk updates are fully batched — there is no per-transmission Python
+loop.  A round is applied as one *snapshot-gather + scatter-OR*: the sender
+rows involved are read (or the whole matrix double-buffered) before any row
+is written, which implements the synchronous-model discipline that every
+transmission of a step reads start-of-step state.  Duplicate receivers are
+resolved either by an order-independent compiled C pass
+(:mod:`repro.engine._ckernel`, disable with ``REPRO_DISABLE_CKERNEL=1``) or
+by a layered NumPy scatter; the two paths are pinned bit-identical by
+``tests/engine/test_kernel_equivalence.py``.
+
+Three classes are provided:
 
 ``KnowledgeMatrix``
     The full gossiping state: one bitset row per node over ``n_messages``
-    message slots.
+    message slots, updated through the dense batched kernels.
+
+``FrontierKnowledge``
+    A :class:`KnowledgeMatrix` that additionally tracks, per row, the set of
+    nonzero (active) 64-bit words as an index frontier.  While a batch of
+    transmissions is sparse — the senders' active words are few compared to
+    the full row width — updates scatter only the active words instead of
+    gathering whole rows, so early gossip rounds cost ``O(frontier)`` rather
+    than ``O(n x words)``.  Rows ratchet one-way onto the dense path as they
+    saturate past the crossover threshold; results are bit-identical to the
+    dense kernels (``tests/engine/test_frontier_knowledge.py``).
 
 ``SingleMessageState``
     A light-weight informed/uninformed boolean vector used by the
     single-message *broadcasting* baselines in :mod:`repro.broadcast`.
+
+Protocols construct their state through :func:`adaptive_knowledge`, which
+returns a :class:`FrontierKnowledge` unless ``REPRO_DISABLE_FRONTIER=1`` is
+set in the environment.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from . import _ckernel
 
-__all__ = ["KnowledgeMatrix", "SingleMessageState", "WORD_BITS"]
+__all__ = [
+    "FrontierKnowledge",
+    "KnowledgeMatrix",
+    "SingleMessageState",
+    "WORD_BITS",
+    "adaptive_knowledge",
+]
 
 #: Number of bits per storage word.
 WORD_BITS = 64
@@ -465,6 +496,15 @@ class KnowledgeMatrix:
             row[m // WORD_BITS] |= self._bit(m)
         return row
 
+    def notify_rows_written(self, rows: np.ndarray) -> None:
+        """Tell the matrix that ``rows`` were mutated through ``data`` directly.
+
+        Code that bypasses the update helpers and ORs into ``self.data``
+        in place (e.g. the random-walk delivery kernel) must call this so
+        sparsity-aware subclasses can keep their bookkeeping consistent.
+        A no-op for the dense matrix.
+        """
+
     # ------------------------------------------------------------------ #
     # Dunder conveniences
     # ------------------------------------------------------------------ #
@@ -482,6 +522,359 @@ class KnowledgeMatrix:
             f"KnowledgeMatrix(n_nodes={self.n_nodes}, n_messages={self.n_messages}, "
             f"coverage={self.coverage():.3f})"
         )
+
+
+#: Default fraction of ``transmissions * words`` below which the frontier
+#: (word-sparse) path is used; also sizes the per-row active-word capacity.
+#: 0.125 won the crossover sweep at n=20000 (see docs/benchmarks.md): the
+#: compiled pair pass costs ~4-6x more per word than the streaming dense
+#: kernels, so the sparse path should stop well before nominal break-even.
+_DEFAULT_CROSSOVER = 0.125
+
+
+class FrontierKnowledge(KnowledgeMatrix):
+    """A :class:`KnowledgeMatrix` with a sparsity-aware (frontier) fast path.
+
+    In early gossip rounds almost every row holds a handful of message bits,
+    yet the dense kernels move full ``words``-wide rows (or snapshot the
+    whole matrix) per round.  This subclass tracks, for every row, the set
+    of *active* (nonzero) 64-bit words as an index frontier and applies a
+    sparse batch by scattering only ``(receiver, word)`` pairs drawn from
+    the senders' frontiers — the cost of a round scales with the number of
+    set words actually in flight, not with ``n_nodes * words``.
+
+    The representation is adaptive with a one-way ratchet:
+
+    * per batch, the estimated frontier cost (``sum`` of sender active-word
+      counts, dense rows counted at full width) is compared against
+      ``crossover * transmissions * words``; at or past the threshold the
+      batch takes the existing dense scatter-OR / double-buffer path;
+    * per row, once more than ``word_cap`` words become active — or the row
+      is written through a dense batch, a direct ``data`` mutation, or a
+      saturation promotion — the row is flagged dense and is never
+      enumerated again (knowledge only grows, so density never decreases).
+
+    Both paths implement the identical snapshot-read / live-write round
+    semantics (all gathers strictly precede all writes), so trajectories are
+    bit-identical to a plain :class:`KnowledgeMatrix` at equal seeds; see
+    ``tests/engine/test_frontier_knowledge.py``.
+
+    Parameters
+    ----------
+    crossover:
+        Fraction of the dense per-batch cost below which the sparse path is
+        chosen (default 0.125, or ``REPRO_FRONTIER_CROSSOVER``).  Also sizes
+        ``word_cap``, the per-row active-word capacity.
+    """
+
+    __slots__ = (
+        "crossover",
+        "word_cap",
+        "_nnz",
+        "_active_words",
+        "_word_active",
+        "_dense_rows",
+        "_val_buf",
+        "_lin_buf",
+        "_retired",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_messages: Optional[int] = None,
+        *,
+        initialize_own: bool = True,
+        crossover: Optional[float] = None,
+    ) -> None:
+        super().__init__(n_nodes, n_messages, initialize_own=initialize_own)
+        if crossover is None:
+            crossover = float(
+                os.environ.get("REPRO_FRONTIER_CROSSOVER", _DEFAULT_CROSSOVER)
+            )
+        if not 0.0 < crossover <= 1.0:
+            raise ValueError(f"crossover must be in (0, 1], got {crossover}")
+        self.crossover = float(crossover)
+        #: Active words a row may list before it ratchets onto the dense path.
+        self.word_cap = min(self.words, max(4, int(round(self.words * self.crossover))))
+        #: Rows permanently on the dense path (no frontier bookkeeping).
+        self._dense_rows = np.zeros(self.n_nodes, dtype=bool)
+        #: Number of active words listed per row.
+        self._nnz = np.zeros(self.n_nodes, dtype=np.int64)
+        #: Active word indices per row (first ``_nnz[i]`` entries valid,
+        #: discovery order — order is irrelevant for an OR).
+        self._active_words = np.zeros((self.n_nodes, self.word_cap), dtype=np.int32)
+        #: Membership mask: ``_word_active[i, w]`` iff ``w`` is listed for
+        #: row ``i`` (meaningless once a row is flagged dense).
+        self._word_active = np.zeros((self.n_nodes, self.words), dtype=bool)
+        #: Reusable pair buffers for the compiled frontier pass (grown on
+        #: demand; avoids a multi-megabyte allocation per round).
+        self._val_buf: Optional[np.ndarray] = None
+        self._lin_buf: Optional[np.ndarray] = None
+        #: Set once every row is dense-flagged; the wrappers then delegate
+        #: to the parent kernels with zero bookkeeping overhead.
+        self._retired = False
+        if initialize_own:
+            upto = min(self.n_nodes, self.n_messages)
+            idx = np.arange(upto)
+            own_word = idx // WORD_BITS
+            self._active_words[idx, 0] = own_word
+            self._nnz[:upto] = 1
+            self._word_active[idx, own_word] = True
+
+    # ------------------------------------------------------------------ #
+    # Batch entry points
+    # ------------------------------------------------------------------ #
+    def apply_transmissions(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        snapshot: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        if senders.shape != receivers.shape:
+            raise ValueError("senders and receivers must have identical shapes")
+        if senders.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._retired:
+            return super().apply_transmissions(senders, receivers, snapshot)
+        if snapshot is None:
+            dense_sel, estimate = self._estimate(senders)
+            if estimate < self.crossover * senders.size * self.words:
+                return self._sparse_apply(senders, receivers, dense_sel)
+        touched = super().apply_transmissions(senders, receivers, snapshot)
+        self._mark_dense(receivers)
+        return touched
+
+    def apply_exchange(
+        self,
+        callers: np.ndarray,
+        targets: np.ndarray,
+        *,
+        complete: Optional[np.ndarray] = None,
+        complete_row: Optional[np.ndarray] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        callers = np.asarray(callers, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if callers.shape != targets.shape:
+            raise ValueError("callers and targets must have identical shapes")
+        empty = np.zeros(0, dtype=np.int64)
+        if callers.size == 0:
+            return empty, empty
+        if self._retired:
+            return super().apply_exchange(
+                callers, targets, complete=complete, complete_row=complete_row
+            )
+        if complete is None or not complete.any():
+            # Both directions of an exchange read the same start-of-step
+            # state, so the round is exactly one combined transmission batch.
+            senders = np.concatenate([callers, targets])
+            receivers = np.concatenate([targets, callers])
+            dense_sel, estimate = self._estimate(senders)
+            if estimate < self.crossover * senders.size * self.words:
+                return self._sparse_apply(senders, receivers, dense_sel), empty
+        # Dense (or saturation-filtered) rounds go through the parent kernel;
+        # by the time rows saturate the matrix is dense anyway, so everything
+        # the parent may have written simply ratchets to the dense path.
+        touched, promoted = super().apply_exchange(
+            callers, targets, complete=complete, complete_row=complete_row
+        )
+        self._dense_rows[callers] = True
+        self._mark_dense(targets)
+        return touched, promoted
+
+    # ------------------------------------------------------------------ #
+    # The frontier path
+    # ------------------------------------------------------------------ #
+    def _mark_dense(self, rows: np.ndarray) -> None:
+        """Ratchet ``rows`` to the dense path; retire once all rows are."""
+        self._dense_rows[rows] = True
+        if self._dense_rows.all():
+            self._retired = True
+
+    def _estimate(self, senders: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Dense-row selector and estimated word-pair cost of a batch."""
+        dense_sel = self._dense_rows[senders]
+        nnz = self._nnz[senders]
+        if dense_sel.any():
+            nnz = np.where(dense_sel, self.words, nnz)
+        return dense_sel, int(nnz.sum())
+
+    def _sparse_apply(
+        self, senders: np.ndarray, receivers: np.ndarray, dense_sel: np.ndarray
+    ) -> np.ndarray:
+        """Apply one batch word-sparsely (snapshot semantics preserved).
+
+        Transmissions from frontier rows contribute only their active
+        ``(word, value)`` pairs; transmissions from dense-flagged rows go
+        through the row-level scatter.  Every gather — sparse word values
+        and dense source rows alike — happens strictly before any write, so
+        the result is bit-identical to the dense one-batch kernel.
+        """
+        words = self.words
+        if dense_sel.any():
+            sparse_s = senders[~dense_sel]
+            sparse_r = receivers[~dense_sel]
+            dense_s = senders[dense_sel]
+            dense_r = receivers[dense_sel]
+        else:
+            sparse_s, sparse_r = senders, receivers
+            dense_s = dense_r = None
+        # ---- dense sub-batch gather (before any write) ---------------- #
+        if dense_s is not None:
+            source, dense_idx = self._snapshot_sources(dense_s)
+        total = int(self._nnz[sparse_s].sum()) if sparse_s.size else 0
+        if total and _ckernel.available():
+            # One fused compiled pass: pair gather (still pre-write), scatter
+            # and frontier bookkeeping.  Runs before the dense scatter so its
+            # value gather also precedes every write of the batch.
+            if self._val_buf is None or self._val_buf.size < total:
+                # Double-up slack: pair counts roughly double per early round.
+                self._val_buf = np.empty(2 * total, dtype=np.uint64)
+                self._lin_buf = np.empty(2 * total, dtype=np.int64)
+            _ckernel.frontier_scatter(
+                self.data,
+                self._active_words,
+                self._nnz,
+                self._word_active,
+                self._dense_rows,
+                np.ascontiguousarray(sparse_s),
+                np.ascontiguousarray(sparse_r),
+                self._val_buf,
+                self._lin_buf,
+            )
+        elif total:
+            nnz = self._nnz[sparse_s]
+            tx = np.repeat(np.arange(sparse_s.size, dtype=np.int64), nnz)
+            ends = np.cumsum(nnz)
+            rank = np.arange(total, dtype=np.int64) - np.repeat(ends - nnz, nnz)
+            tx_senders = sparse_s[tx]
+            wcols = self._active_words[tx_senders, rank].astype(np.int64)
+            vals = self.data[tx_senders, wcols]
+            pair_rows = sparse_r[tx]
+            lin = pair_rows * words + wcols
+            order = np.argsort(lin, kind="stable")
+            lin_sorted = lin[order]
+            vals_sorted = vals[order]
+            bounds = np.flatnonzero(np.r_[True, lin_sorted[1:] != lin_sorted[:-1]])
+            merged = np.bitwise_or.reduceat(vals_sorted, bounds)
+            self.data.reshape(-1)[lin_sorted[bounds]] |= merged
+            self._note_pairs(pair_rows, wcols, lin)
+        # ---- dense sub-batch scatter ---------------------------------- #
+        if dense_s is not None:
+            self._scatter_or(source, dense_idx, dense_r)
+            # A dense sender's words are a superset of the cap, so the
+            # receiving row crosses it too.
+            self._dense_rows[dense_r] = True
+        return receivers
+
+    def _note_pairs(
+        self, rows: np.ndarray, wcols: np.ndarray, lin: np.ndarray
+    ) -> None:
+        """Record that words ``wcols`` were OR-written into ``rows``.
+
+        Newly activated words are appended to each receiver's frontier;
+        receivers whose count would exceed ``word_cap`` ratchet to dense.
+        """
+        fresh = ~self._word_active[rows, wcols] & ~self._dense_rows[rows]
+        if not fresh.any():
+            return
+        unique_lin = np.unique(lin[fresh])
+        r = unique_lin // self.words
+        w = (unique_lin % self.words).astype(np.int32)
+        self._word_active[r, w] = True
+        # ``unique_lin`` is sorted, so rows arrive grouped.
+        starts = np.flatnonzero(np.r_[True, r[1:] != r[:-1]])
+        counts = np.diff(np.r_[starts, r.size])
+        unique_rows = r[starts]
+        new_nnz = self._nnz[unique_rows] + counts
+        overflow = new_nnz > self.word_cap
+        within = np.arange(r.size) - np.repeat(starts, counts)
+        positions = self._nnz[r] + within
+        keep = ~np.repeat(overflow, counts)
+        if keep.any():
+            self._active_words[r[keep], positions[keep]] = w[keep]
+            self._nnz[unique_rows[~overflow]] = new_nnz[~overflow]
+        if overflow.any():
+            self._dense_rows[unique_rows[overflow]] = True
+
+    def _note_single_word(self, rows: np.ndarray, word: int) -> None:
+        """Record that the single word ``word`` gained bits in ``rows``."""
+        rows = rows[~self._dense_rows[rows] & ~self._word_active[rows, word]]
+        if rows.size == 0:
+            return
+        rows = np.unique(rows)
+        self._word_active[rows, word] = True
+        positions = self._nnz[rows]
+        overflow = positions >= self.word_cap
+        ok = rows[~overflow]
+        self._active_words[ok, positions[~overflow]] = word
+        self._nnz[ok] = positions[~overflow] + 1
+        if overflow.any():
+            self._dense_rows[rows[overflow]] = True
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping for the non-batch mutators
+    # ------------------------------------------------------------------ #
+    def add(self, node: int, message: int) -> None:
+        super().add(node, message)
+        self._note_single_word(
+            np.asarray([node], dtype=np.int64), message // WORD_BITS
+        )
+
+    def add_many(self, nodes: np.ndarray, message: int) -> None:
+        super().add_many(nodes, message)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size:
+            self._note_single_word(nodes, message // WORD_BITS)
+
+    def union_into(self, dst: int, src_row: np.ndarray) -> None:
+        super().union_into(dst, src_row)
+        self._dense_rows[dst] = True
+
+    def union_from_node(
+        self, dst: int, src: int, snapshot: Optional[np.ndarray] = None
+    ) -> None:
+        super().union_from_node(dst, src, snapshot)
+        self._dense_rows[dst] = True
+
+    def notify_rows_written(self, rows: np.ndarray) -> None:
+        """Direct ``data`` mutations ratchet the written rows to dense."""
+        self._dense_rows[rows] = True
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by tests and the benchmark harness)
+    # ------------------------------------------------------------------ #
+    def frontier_fraction(self) -> float:
+        """Fraction of rows still on the frontier (sparse) path."""
+        return 1.0 - float(self._dense_rows.mean())
+
+
+#: Minimum row width (in 64-bit words) for the frontier representation to
+#: pay for its bookkeeping; narrower matrices always use the dense kernels.
+_FRONTIER_MIN_WORDS = 64
+
+
+def adaptive_knowledge(
+    n_nodes: int, n_messages: Optional[int] = None
+) -> KnowledgeMatrix:
+    """The knowledge state protocols should instantiate.
+
+    Returns a :class:`FrontierKnowledge` (sparse/dense adaptive) for wide
+    matrices (``>= 64`` words, i.e. ``n_messages >= 4033``); narrow rows are
+    cheap to move whole, so smaller problems stay on the plain dense
+    :class:`KnowledgeMatrix`.  Setting ``REPRO_DISABLE_FRONTIER`` in the
+    environment forces the dense matrix at every size.  Both produce
+    bit-identical trajectories; the switch exists for A/B benchmarking and
+    equivalence testing.
+    """
+    if os.environ.get("REPRO_DISABLE_FRONTIER"):
+        return KnowledgeMatrix(n_nodes, n_messages)
+    words = _n_words(n_nodes if n_messages is None else n_messages)
+    if words < _FRONTIER_MIN_WORDS:
+        return KnowledgeMatrix(n_nodes, n_messages)
+    return FrontierKnowledge(n_nodes, n_messages)
 
 
 class SingleMessageState:

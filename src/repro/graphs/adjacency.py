@@ -3,16 +3,30 @@
 The protocols in this library only need three graph operations, all of which
 must be fast and allocation-light because they sit in the per-round hot loop:
 
-* uniformly sampling a random neighbour for *every* node at once,
-* sampling a few distinct neighbours of a single node while avoiding a short
-  list of addresses (the memory model's ``open-avoid`` operation), and
-* iterating neighbours of a node (for structural analysis and BFS).
+* uniformly sampling a random neighbour for *every* node at once
+  (:meth:`Adjacency.sample_neighbors`, one batched draw per round),
+* sampling distinct neighbours while avoiding short per-node address lists —
+  the memory model's ``open-avoid`` — for a whole batch of callers at once
+  (:meth:`Adjacency.sample_neighbors_avoiding_many`: one ``searchsorted``
+  pass over a cached ``owner * n + neighbour`` key array plus vectorised
+  skip-sampling; the single-node :meth:`Adjacency.sample_neighbors_avoiding`
+  remains for callers outside the hot path), and
+* iterating neighbours of a node (for structural analysis and the
+  vectorised BFS used by connectivity checks).
+
+Everything is batched NumPy — no per-node Python loop survives on the
+per-round hot path.  The batched samplers follow the library's fixed RNG
+stream discipline (uniforms drawn per batch in caller order, fallbacks
+afterwards), and ``tests/core/test_batched_equivalence.py`` plus
+``tests/core/test_node_memory.py`` pin them bit-identically to per-node
+reference loops sharing that discipline.
 
 :class:`Adjacency` stores the graph in CSR form (``indptr``/``indices``) with
-sorted neighbour lists, which supports all three with NumPy vectorisation and
-binary search.  Graphs are undirected and simple (no self-loops, no parallel
-edges); generators that naturally produce multi-edges (the configuration
-model) deduplicate before constructing an :class:`Adjacency`.
+sorted neighbour lists, which supports all of the above with NumPy
+vectorisation and binary search.  Graphs are undirected and simple (no
+self-loops, no parallel edges); generators that naturally produce
+multi-edges (the configuration model) deduplicate before constructing an
+:class:`Adjacency`.
 """
 
 from __future__ import annotations
