@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Fail if README/docs markdown links point at missing files.
+"""Fail on broken intra-repo doc links and on orphaned docs pages.
 
 Scans the repository's documentation surface (``README.md`` and
 ``docs/*.md``) for markdown links and verifies every *intra-repository*
 target resolves to an existing file or directory. External links
 (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
 ignored; a ``path#anchor`` target is checked for the file part only.
+
+Additionally, every page under ``docs/`` must be *reachable* from
+``README.md`` by following intra-repo markdown links (transitively through
+other docs pages).  A page nobody links to is a page nobody finds — adding
+a docs file without wiring it into the surface fails CI.
 
 Used by the ``docs`` CI job; run locally with::
 
@@ -48,6 +53,30 @@ def iter_links(path: str) -> Iterator[Tuple[int, str]]:
                 yield lineno, match.group(1)
 
 
+def reachable_from_readme() -> set:
+    """Doc files reachable from README.md via intra-repo markdown links."""
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if not os.path.exists(readme):
+        return set()
+    seen = {readme}
+    frontier = [readme]
+    while frontier:
+        doc = frontier.pop()
+        base = os.path.dirname(doc)
+        for _, target in iter_links(doc):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if resolved.endswith(".md") and os.path.isfile(resolved):
+                if resolved not in seen:
+                    seen.add(resolved)
+                    frontier.append(resolved)
+    return seen
+
+
 def main() -> int:
     broken: List[str] = []
     checked = 0
@@ -64,11 +93,28 @@ def main() -> int:
             resolved = os.path.normpath(os.path.join(base, file_part))
             if not os.path.exists(resolved):
                 broken.append(f"{rel_doc}:{lineno}: broken link -> {target}")
+    reachable = reachable_from_readme()
+    orphans = [
+        os.path.relpath(doc, REPO_ROOT)
+        for doc in doc_files()
+        if doc not in reachable
+    ]
     if broken:
         print("\n".join(broken))
         print(f"\n{len(broken)} broken intra-repo link(s).")
+    if orphans:
+        for page in orphans:
+            print(
+                f"{page}: orphaned docs page (not reachable from README.md "
+                "via markdown links)"
+            )
+        print(f"\n{len(orphans)} orphaned docs page(s).")
+    if broken or orphans:
         return 1
-    print(f"OK: {checked} intra-repo links across {len(doc_files())} files.")
+    print(
+        f"OK: {checked} intra-repo links across {len(doc_files())} files; "
+        "all docs pages reachable from README.md."
+    )
     return 0
 
 

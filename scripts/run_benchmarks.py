@@ -15,9 +15,12 @@ Usage::
     PYTHONPATH=src python scripts/run_benchmarks.py -o out.json
 
 Timings are best-of-``--repeats`` wall-clock; graph construction is excluded
-from protocol timings.  The JSON also records whether the optional compiled
-kernel (:mod:`repro.engine._ckernel`) was active, since that is the single
-biggest factor for throughput.
+from protocol timings.  The JSON records the active kernel backend
+(:mod:`repro.engine.backends`) in its header, per-backend protocol and
+kernel timings (``numpy`` / ``c`` / ``c-threads``) for every size, and a
+thread-scaling micro-bench that times one forced-``t``-thread exchange
+round at t in {1, 2, 4, 8} — the measurement behind the small-batch
+dispatch cutoff documented in ``docs/parallelism.md``.
 """
 
 from __future__ import annotations
@@ -35,10 +38,13 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro import FastGossiping, MemoryGossiping, PushPullGossip, erdos_renyi
-from repro.engine import FrontierKnowledge, KnowledgeMatrix, make_rng
+from repro.engine import FrontierKnowledge, KnowledgeMatrix, backends, make_rng
 from repro.engine import _ckernel
 from repro.engine.knowledge import _DEFAULT_CROSSOVER, _FRONTIER_MIN_WORDS
 from repro.graphs import paper_edge_probability
+
+#: Thread counts exercised by the thread-scaling micro-bench.
+SCALING_THREADS = (1, 2, 4, 8)
 
 SIZES = (1000, 5000, 20000)
 GRAPH_SEED = 5
@@ -68,19 +74,64 @@ def best_of(func: Callable[[], object], repeats: int) -> "tuple[float, object]":
     return best, result
 
 
+def available_backends() -> "Dict[str, backends.KernelBackend]":
+    """The backend variants this machine can run (numpy always; C if built)."""
+    variants: Dict[str, backends.KernelBackend] = {
+        "numpy": backends.NumpyBackend()
+    }
+    if _ckernel.available():
+        variants["c"] = backends.CSerialBackend()
+        variants["c-threads"] = backends.CThreadsBackend()
+    return variants
+
+
 def protocol_entry(protocol, graph, seed: int, repeats: int) -> Dict[str, object]:
     wall, result = best_of(lambda: protocol.run(graph, rng=seed), repeats)
+    active_name = backends.active().name
+    per_backend = {}
+    for name, backend in available_backends().items():
+        if name == active_name:
+            # The headline measurement above already ran on this backend.
+            per_backend[name] = round(wall * 1000, 4)
+            continue
+        with backends.use(backend):
+            backend_wall, backend_result = best_of(
+                lambda: protocol.run(graph, rng=seed), repeats
+            )
+        # Trajectories are backend-invariant; a mismatch here means a broken
+        # kernel, not noise — refuse to record garbage.  Compare the full
+        # outcome, not just the round count: near-miss row corruption can
+        # finish in the same number of rounds.
+        if (
+            backend_result.rounds != result.rounds
+            or backend_result.completed != result.completed
+            or backend_result.total_messages() != result.total_messages()
+            or backend_result.knowledge != result.knowledge
+        ):
+            raise RuntimeError(
+                f"{protocol.name} trajectory diverged on backend {name}"
+            )
+        per_backend[name] = round(backend_wall * 1000, 4)
     return {
         "completed": bool(result.completed),
         "rounds": int(result.rounds),
         "wall_clock_s": round(wall, 6),
         "rounds_per_s": round(result.rounds / wall, 2) if wall > 0 else None,
         "total_messages": int(result.total_messages()),
+        "backend_wall_clock_ms": per_backend,
     }
 
 
 def kernel_entry(n: int, repeats: int) -> Dict[str, object]:
-    """Raw kernel micro-timings: one exchange round and one scatter batch."""
+    """Raw kernel micro-timings: one exchange round and one scatter batch.
+
+    The headline numbers run on the active backend; the ``backends`` block
+    repeats both measurements on every installed backend, and
+    ``thread_scaling`` times the exchange round with the thread count forced
+    to each value in :data:`SCALING_THREADS` (``shard_work=1``, i.e. the
+    small-batch cutoff disabled) — the measurement that justifies the
+    cutoff: below it, pool dispatch costs more than it buys.
+    """
     rng = make_rng(13)
     km = KnowledgeMatrix(n)
     nodes = np.arange(n, dtype=np.int64)
@@ -95,7 +146,34 @@ def kernel_entry(n: int, repeats: int) -> Dict[str, object]:
     entry = {
         "exchange_round_ms": round(exchange_wall * 1000, 4),
         "scatter_batch_ms": round(scatter_wall * 1000, 4),
+        "backends": {},
+        "thread_scaling": {},
     }
+    for name, backend in available_backends().items():
+        with backends.use(backend):
+            b_exchange, _ = best_of(
+                lambda: km.apply_exchange(nodes, targets), repeats
+            )
+            b_scatter, _ = best_of(
+                lambda: km.apply_transmissions(senders, receivers), repeats
+            )
+        entry["backends"][name] = {
+            "exchange_round_ms": round(b_exchange * 1000, 4),
+            "scatter_batch_ms": round(b_scatter * 1000, 4),
+        }
+    if _ckernel.available():
+        for threads in SCALING_THREADS:
+            if threads == 1:
+                backend = backends.CSerialBackend()
+            else:
+                backend = backends.CThreadsBackend(
+                    max_threads=threads, shard_work=1
+                )
+            with backends.use(backend):
+                wall, _ = best_of(
+                    lambda: km.apply_exchange(nodes, targets), repeats
+                )
+            entry["thread_scaling"][str(threads)] = round(wall * 1000, 4)
     entry.update(frontier_phase_entry(n, repeats))
     return entry
 
@@ -199,14 +277,18 @@ def main() -> int:
 
     sizes = SIZES[:1] if args.quick else SIZES
     report: Dict[str, object] = {
-        "schema": "repro-bench-kernel/1",
+        "schema": "repro-bench-kernel/2",
         "description": (
             "Kernel benchmark baseline: full protocol runs and raw knowledge-"
             "kernel operations at fixed seeds (graph rng=5; protocol rngs: "
             "push-pull=1, fast-gossiping=2, memory=3); wall-clock is best-of-"
-            f"{args.repeats}."
+            f"{args.repeats}.  Per-backend timings and the forced-thread "
+            "exchange scaling live under sizes.<n>.kernel / the protocols' "
+            "backend_wall_clock_ms."
         ),
         "compiled_kernel": _ckernel.available(),
+        "backend": backends.active().describe(),
+        "cpu_count": os.cpu_count(),
         "frontier": {
             "enabled": not bool(os.environ.get("REPRO_DISABLE_FRONTIER")),
             "crossover": float(
@@ -272,6 +354,11 @@ def main() -> int:
             f"frontier={kr['early5_frontier_ms']:.2f}ms "
             f"({kr['early5_frontier_speedup']}x)"
         )
+        if kr["thread_scaling"]:
+            scaling = "  ".join(
+                f"t={t}:{ms:.2f}ms" for t, ms in kr["thread_scaling"].items()
+            )
+            print(f"  n={n:>6} {'exchange-threads':<15} {scaling}")
     return 0
 
 

@@ -43,10 +43,15 @@ per-walk Python loop survives on the per-round hot path.
   while batches are sparse, falling back (one-way) to the dense kernels as
   rows saturate past the crossover threshold.  Set
   ``REPRO_DISABLE_FRONTIER=1`` to force the dense path (bit-identical).
-* When a C compiler is available, :mod:`repro.engine._ckernel` compiles a
-  tiny scatter-OR / popcount library at first import (cached per machine)
-  that the kernels dispatch to automatically; set ``REPRO_DISABLE_CKERNEL=1``
-  to force the pure-NumPy fallback, which is semantically identical.
+* Kernel execution is pluggable: :mod:`repro.engine.backends` exposes one
+  dispatch surface over three interchangeable backends — ``numpy``, ``c``
+  (the serial compiled kernels built by :mod:`repro.engine._ckernel` at
+  first import, cached per machine) and ``c-threads`` (the same kernels
+  sharded by receiver rows across a persistent worker pool).  Selection is
+  ``REPRO_KERNEL_BACKEND`` (default ``auto``) with the thread budget in
+  ``REPRO_KERNEL_THREADS``; trajectories are bit-identical across backends
+  and thread counts.  ``REPRO_DISABLE_CKERNEL=1`` remains the kill switch
+  that forces the pure-NumPy fallback.
 
 Run ``PYTHONPATH=src python scripts/run_benchmarks.py`` to reproduce the
 committed ``BENCH_kernel.json`` baseline (full protocol runs plus raw kernel

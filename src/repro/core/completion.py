@@ -5,6 +5,16 @@ crash failures the sensible target (and the one the paper's robustness study
 uses) is restricted to healthy nodes: a failed node's original message may be
 lost and failed nodes do not need to learn anything, so completion means every
 alive node knows the original message of every alive node.
+
+Two forms are provided: the one-shot predicates (:func:`gossip_complete`,
+:func:`missing_pairs`) that rescan the matrix, and the incremental
+:class:`CompletionTracker` that protocols keep on the hot path.  The tracker
+recounts only the receiver rows a round actually touched — fed with the
+(possibly duplicated) receiver multiset the knowledge-matrix batch kernels
+return — and its per-row recount dispatches through the active
+:mod:`repro.engine.backends` backend, so it is sharded across the worker
+pool together with the rest of the round whenever the threaded backend is
+active.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..engine import _ckernel
+from ..engine import backends
 from ..engine.knowledge import WORD_BITS, KnowledgeMatrix
 
 __all__ = [
@@ -66,10 +76,12 @@ class CompletionTracker:
     an every-round completion check ``O(n^2 / 64)``.  This tracker instead
     maintains the per-node *deficit* — the number of required messages a node
     does not yet know — and only recounts the rows actually touched during a
-    round (the unique receivers returned by
-    :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_transmissions`).
-    The per-round cost is therefore ``O(receivers * words)`` and the verdict
-    itself is ``O(1)``.
+    round: the receiver multiset returned by
+    :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_transmissions` /
+    :meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_exchange` (which may
+    be unsorted and contain duplicates — :meth:`update` deduplicates with a
+    boolean scatter).  The per-round cost is therefore
+    ``O(receivers * words)`` and the verdict itself is ``O(1)``.
 
     The tracker answers exactly the same question as
     ``gossip_complete(knowledge, alive_nodes)``: with ``alive_nodes`` given,
@@ -142,9 +154,11 @@ class CompletionTracker:
 
     def _recount(self, rows: np.ndarray) -> np.ndarray:
         """Missing-bit counts (``popcount(mask & ~row)``) for the given rows."""
-        if _ckernel.available():
-            # Fused mask-and-popcount over the listed rows, no gather.
-            return _ckernel.recount_deficits(self.knowledge.data, self.mask, rows)
+        backend = backends.active()
+        if backend.use_compiled():
+            # Fused mask-and-popcount over the listed rows, no gather
+            # (sharded over the listed rows on the threaded backend).
+            return backend.recount_deficits(self.knowledge.data, self.mask, rows)
         return np.bitwise_count(
             self.mask[None, :] & ~self.knowledge.data[rows]
         ).sum(axis=1, dtype=np.int64)

@@ -18,6 +18,14 @@ per round while only the walk holders pay for communication.
 Phase III — *broadcast*: a plain push–pull procedure finishes the remaining
 (small) gap.  Following the empirical section of the paper, this phase runs
 until the entire graph is informed.
+
+All three phases run on the batched knowledge kernels (push rounds, walk
+deliveries and the Phase III exchange-with-saturation-filter), which
+dispatch through the active kernel backend (:mod:`repro.engine.backends`):
+the driver is backend-agnostic and its trajectories are bit-identical across
+the ``numpy``, ``c`` and ``c-threads`` backends at every thread count
+(``REPRO_KERNEL_BACKEND`` / ``REPRO_KERNEL_THREADS``; see
+``docs/parallelism.md``).
 """
 
 from __future__ import annotations

@@ -45,6 +45,12 @@ leader election bit-identically to per-node reference loops sharing the
 documented RNG stream discipline;
 ``tests/engine/test_frontier_knowledge.py`` pins the batcher and the
 frontier path.
+
+Every scatter-OR batch dispatches through the active kernel backend
+(:mod:`repro.engine.backends`): the protocol is backend-agnostic and its
+trajectories are bit-identical across the ``numpy``, ``c`` and
+``c-threads`` backends at every thread count (``REPRO_KERNEL_BACKEND`` /
+``REPRO_KERNEL_THREADS``; see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations

@@ -6,6 +6,15 @@ the channel and the callee answers with its own combined message.  The
 procedure repeats until every node knows every original message.  This is the
 baseline against which the paper's Figure 1 compares the tuned algorithms: its
 per-node cost grows with the number of rounds, i.e. ``Theta(log n)``.
+
+Each synchronous round is one
+:meth:`~repro.engine.knowledge.KnowledgeMatrix.apply_exchange` batch plus an
+incremental :class:`~repro.core.completion.CompletionTracker` update.  Both
+dispatch through the active kernel backend (:mod:`repro.engine.backends`), so
+the driver is backend-agnostic and its trajectories are bit-identical across
+the ``numpy``, ``c`` and ``c-threads`` backends at every thread count
+(``REPRO_KERNEL_BACKEND`` / ``REPRO_KERNEL_THREADS``; see
+``docs/parallelism.md``).
 """
 
 from __future__ import annotations

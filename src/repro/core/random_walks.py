@@ -31,7 +31,7 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
-from ..engine import _ckernel
+from ..engine import backends
 from ..engine.knowledge import KnowledgeMatrix
 from ..engine.metrics import TransmissionLedger
 from ..graphs.adjacency import Adjacency
@@ -167,14 +167,15 @@ class WalkPool:
                 dests = dests[~over]
         if walk_ids.size == 0:
             return
-        if _ckernel.available():
+        backend = backends.active()
+        if backend.use_compiled():
             # Gather (copy) the destination rows first: the start-of-delivery
             # snapshot every arriving walk merges with.  Payload rows are
             # disjoint storage from the knowledge matrix, so the node-side
-            # union is one order-independent C scatter (no sort needed), and
-            # the walk-side union reads the pre-delivery node rows.
+            # union is one order-independent compiled scatter (no sort
+            # needed), and the walk-side union reads the pre-delivery rows.
             node_rows = knowledge.data[dests]
-            _ckernel.scatter_or(
+            backend.scatter_or(
                 knowledge.data,
                 self.payloads,
                 np.ascontiguousarray(walk_ids),

@@ -2,13 +2,16 @@
 
 This package provides the building blocks shared by every protocol in the
 library: deterministic randomness management (:mod:`repro.engine.rng`), packed
-bitset knowledge tracking (:mod:`repro.engine.knowledge`), per-step channel
-bookkeeping (:mod:`repro.engine.channels`), communication-cost accounting
+bitset knowledge tracking (:mod:`repro.engine.knowledge`), the kernel backend
+registry that selects between NumPy, serial-C and threaded-C execution
+(:mod:`repro.engine.backends`), per-step channel bookkeeping
+(:mod:`repro.engine.channels`), communication-cost accounting
 (:mod:`repro.engine.metrics`), crash-failure plans
 (:mod:`repro.engine.failures`) and per-round progress traces
 (:mod:`repro.engine.trace`).
 """
 
+from . import backends
 from .channels import ChannelSet, open_channels
 from .failures import NO_FAILURES, FailurePlan, sample_uniform_failures
 from .knowledge import (
@@ -23,6 +26,7 @@ from .rng import RandomState, derive_seed, ensure_rng, make_rng, spawn_rngs
 from .trace import RoundRecord, SpreadingTrace
 
 __all__ = [
+    "backends",
     "ChannelSet",
     "open_channels",
     "NO_FAILURES",

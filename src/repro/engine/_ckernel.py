@@ -2,10 +2,27 @@
 
 NumPy's fancy-indexing machinery moves every gathered row through fresh
 temporaries, which caps the gossip kernel's throughput well below what the
-hardware allows.  The two primitives below — a sequential scatter-OR of
-snapshot rows into live rows, and a fused mask-and-popcount deficit recount —
-are tiny, allocation-free C loops, so this module compiles them once per
-machine with the system C compiler and loads them through :mod:`ctypes`.
+hardware allows.  This module compiles a small C library once per machine
+with the system C compiler and loads it through :mod:`ctypes`.  It exposes
+two families of primitives:
+
+*Serial kernels* — the swap-form full-round kernels (:func:`exchange`,
+:func:`push_round`: build the round's incoming-sender CSR, write each
+row's next state exactly once into the spare buffer, caller swaps — about
+half the traffic of snapshot + read-modify-write), the order-independent
+:func:`scatter_or` over an explicit snapshot, the word-sparse
+:func:`frontier_scatter` pass used by
+:class:`~repro.engine.knowledge.FrontierKnowledge`, and the fused
+mask-and-popcount deficit :func:`recount_deficits`.
+
+*Sharded (multithreaded) kernels* — ``*_mt`` variants of the same five
+primitives that partition the *receiver rows* of a batch into disjoint
+contiguous shards across a persistent worker pool (:func:`ensure_shards`).
+Because shards partition receivers and every gather still strictly precedes
+every write, the threaded kernels are bit-identical to the serial ones for
+any shard count; see ``docs/parallelism.md`` for the determinism argument.
+Callers do not pick a code path here — backend selection and per-batch
+thread counts live in :mod:`repro.engine.backends`.
 
 The build is strictly best-effort: if no compiler is present, the build
 fails, or ``REPRO_DISABLE_CKERNEL`` is set in the environment, callers fall
@@ -32,49 +49,114 @@ import numpy as np
 
 __all__ = [
     "available",
+    "ensure_shards",
     "exchange",
+    "exchange_mt",
     "push_round",
+    "push_round_mt",
     "frontier_scatter",
+    "frontier_scatter_mt",
     "recount_deficits",
+    "recount_deficits_mt",
     "scatter_or",
+    "scatter_or_mt",
 ]
 
 _SOURCE = r"""
+#include <pthread.h>
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
 
-/* Full synchronous push-pull exchange: snapshot the matrix into `scratch`,
- * then for every channel (callers[i], targets[i]) OR each endpoint's
- * snapshot row into the other endpoint's live row. */
-void repro_exchange(uint64_t *data, uint64_t *scratch,
-                    const int64_t *callers, const int64_t *targets,
-                    int64_t k, int64_t n, int64_t words) {
-    memcpy(scratch, data, (size_t)n * (size_t)words * sizeof(uint64_t));
+/* ------------------------------------------------------------------ *
+ * Full-round kernels in "swap" form.
+ *
+ * A naive full round snapshots the matrix (memcpy) and then RMWs every
+ * receiver row — about 8·n·words words of memory traffic for a full
+ * push-pull round.  The swap form instead builds the per-row incoming
+ * sender lists (a CSR over the round's channels, O(k) integer work) and
+ * writes the complete NEXT state into `next`:
+ *
+ *     next[r] = cur[r] | OR(cur[p] for every sender p of r)
+ *
+ * Each row is read and written exactly once (rows with no senders are a
+ * straight memcpy), `cur` is never written, and the caller swaps the two
+ * buffers afterwards — roughly half the traffic of snapshot + RMW, and
+ * trivially shardable because every row's result depends only on the
+ * read-only `cur`.  OR is commutative, so the result is independent of
+ * both partner order and row processing order: bit-identical to the
+ * sequential snapshot semantics.
+ * ------------------------------------------------------------------ */
+
+/* Incoming-sender CSR for one round.  Edge i informs dst[i] from src[i];
+ * with `both` set each channel also informs src[i] from dst[i] (the pull
+ * direction of an exchange).  `off` has n+1 slots and `adj` one slot per
+ * edge.  After the fill pass off[r] is the END of row r's slice (the
+ * classic cursor trick), so row r spans [r ? off[r-1] : 0, off[r]). */
+static void repro_sender_csr(const int64_t *src, const int64_t *dst,
+                             int64_t k, int64_t n, int both,
+                             int64_t *off, int64_t *adj) {
+    memset(off, 0, (size_t)(n + 1) * sizeof(int64_t));
     for (int64_t i = 0; i < k; i++) {
-        uint64_t *dc = data + callers[i] * words;
-        uint64_t *dt = data + targets[i] * words;
-        const uint64_t *sc = scratch + callers[i] * words;
-        const uint64_t *st = scratch + targets[i] * words;
-        for (int64_t w = 0; w < words; w++) {
-            dc[w] |= st[w];
-            dt[w] |= sc[w];
+        off[dst[i]]++;
+        if (both)
+            off[src[i]]++;
+    }
+    int64_t run = 0;
+    for (int64_t r = 0; r < n; r++) {
+        const int64_t c = off[r];
+        off[r] = run;
+        run += c;
+    }
+    off[n] = run;
+    for (int64_t i = 0; i < k; i++) {
+        adj[off[dst[i]]++] = src[i];
+        if (both)
+            adj[off[src[i]]++] = dst[i];
+    }
+}
+
+static void repro_swap_rows(const uint64_t *cur, uint64_t *next,
+                            const int64_t *off, const int64_t *adj,
+                            int64_t lo, int64_t hi, int64_t words) {
+    for (int64_t r = lo; r < hi; r++) {
+        const int64_t start = r ? off[r - 1] : 0;
+        const int64_t end = off[r];
+        const uint64_t *src = cur + r * words;
+        uint64_t *dst = next + r * words;
+        if (start == end) {
+            memcpy(dst, src, (size_t)words * sizeof(uint64_t));
+            continue;
+        }
+        const uint64_t *first = cur + adj[start] * words;
+        for (int64_t w = 0; w < words; w++)
+            dst[w] = src[w] | first[w];
+        for (int64_t j = start + 1; j < end; j++) {
+            const uint64_t *p = cur + adj[j] * words;
+            for (int64_t w = 0; w < words; w++)
+                dst[w] |= p[w];
         }
     }
 }
 
-/* One-directional variant: snapshot, then OR snapshot[src[i]] into
- * data[dst[i]] for every transmission. */
-void repro_push_round(uint64_t *data, uint64_t *scratch,
+/* One synchronous push-pull round: for every channel (callers[i],
+ * targets[i]) both endpoints learn each other's start-of-round row.
+ * Writes the full next state into `next`; the caller swaps buffers. */
+void repro_exchange(const uint64_t *cur, uint64_t *next,
+                    const int64_t *callers, const int64_t *targets,
+                    int64_t k, int64_t n, int64_t words,
+                    int64_t *off, int64_t *adj) {
+    repro_sender_csr(callers, targets, k, n, 1, off, adj);
+    repro_swap_rows(cur, next, off, adj, 0, n, words);
+}
+
+/* One-directional variant: dst[i] learns src[i]'s start-of-round row. */
+void repro_push_round(const uint64_t *cur, uint64_t *next,
                       const int64_t *src, const int64_t *dst,
-                      int64_t k, int64_t n, int64_t words) {
-    memcpy(scratch, data, (size_t)n * (size_t)words * sizeof(uint64_t));
-    for (int64_t i = 0; i < k; i++) {
-        uint64_t *d = data + dst[i] * words;
-        const uint64_t *s = scratch + src[i] * words;
-        for (int64_t w = 0; w < words; w++) {
-            d[w] |= s[w];
-        }
-    }
+                      int64_t k, int64_t n, int64_t words,
+                      int64_t *off, int64_t *adj) {
+    repro_sender_csr(src, dst, k, n, 0, off, adj);
+    repro_swap_rows(cur, next, off, adj, 0, n, words);
 }
 
 /* OR source[src[i]] into data[dst[i]] for all i.  `source` must be a
@@ -159,6 +241,359 @@ void repro_recount(const uint64_t *data, const uint64_t *mask,
         deficits[i] = missing;
     }
 }
+
+/* ==================================================================== *
+ * Persistent worker pool and receiver-sharded (multithreaded) kernels.
+ *
+ * Every *_mt kernel partitions the RECEIVER rows of its batch into
+ * `nshards` disjoint contiguous ranges; shard t applies exactly the
+ * writes whose target row lies in [n*t/T, n*(t+1)/T).  All gathers
+ * (snapshot copies, frontier pair-value reads) run as a separate pool
+ * job that completes before the scatter job starts, so threads only
+ * read state no thread is writing, and each row is written by exactly
+ * one thread in the same relative order the serial kernel would use.
+ * The results — row data and frontier bookkeeping alike — are therefore
+ * bit-identical to the serial kernels for every shard count.
+ *
+ * The pool is spawned lazily (repro_pool_ensure), never shrinks, and
+ * its detached workers sleep on a condition variable between jobs.  The
+ * calling thread always executes shard 0 itself, so a pool of W workers
+ * serves up to W + 1 shards.
+ * ==================================================================== */
+
+typedef struct {
+    void (*fn)(int64_t tid, int64_t nshards, void *arg);
+    void *arg;
+    int64_t nshards;
+} repro_job;
+
+static pthread_mutex_t repro_pool_mu = PTHREAD_MUTEX_INITIALIZER;
+/* Serializes job submission: the pool has a single job slot, and the
+ * *_mt kernels may be invoked from several Python threads at once
+ * (ctypes releases the GIL), e.g. protocol runs inside a
+ * ThreadPoolExecutor.  Each sharded job runs to completion under this
+ * lock; the serial kernels stay lock-free and reentrant. */
+static pthread_mutex_t repro_caller_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t repro_pool_wake = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t repro_pool_done = PTHREAD_COND_INITIALIZER;
+static repro_job repro_pool_job;
+static uint64_t repro_pool_gen = 0;
+static int64_t repro_pool_workers = 0;
+static int64_t repro_pool_pending = 0;
+
+typedef struct {
+    int64_t wid;   /* worker wid runs shard wid+1 */
+    uint64_t gen;  /* pool generation at creation time */
+} repro_worker_init;
+
+static void *repro_worker(void *arg) {
+    repro_worker_init *init = (repro_worker_init *)arg;
+    const int64_t wid = init->wid;
+    /* Start from the generation current when this worker was registered
+     * (captured under the pool mutex): jobs posted before then did not
+     * count this worker in repro_pool_pending, so acknowledging them
+     * would double-decrement and let a later job "complete" while a
+     * shard is still writing.  Jobs posted after registration do count
+     * it and are correctly picked up as gen > seen. */
+    uint64_t seen = init->gen;
+    free(init);
+    pthread_mutex_lock(&repro_pool_mu);
+    for (;;) {
+        while (repro_pool_gen == seen)
+            pthread_cond_wait(&repro_pool_wake, &repro_pool_mu);
+        seen = repro_pool_gen;
+        repro_job job = repro_pool_job;
+        pthread_mutex_unlock(&repro_pool_mu);
+        if (wid + 1 < job.nshards)
+            job.fn(wid + 1, job.nshards, job.arg);
+        pthread_mutex_lock(&repro_pool_mu);
+        if (--repro_pool_pending == 0)
+            pthread_cond_signal(&repro_pool_done);
+    }
+    return NULL;
+}
+
+/* Pool threads do not survive fork(2).  Serialize forks against pool
+ * state with the standard atfork protocol and reset the (now threadless)
+ * child's pool so its first ensure call re-spawns workers from scratch. */
+static void repro_pool_atfork_prepare(void) {
+    pthread_mutex_lock(&repro_caller_mu); /* no job in flight past here */
+    pthread_mutex_lock(&repro_pool_mu);
+}
+
+static void repro_pool_atfork_parent(void) {
+    pthread_mutex_unlock(&repro_pool_mu);
+    pthread_mutex_unlock(&repro_caller_mu);
+}
+
+static void repro_pool_atfork_child(void) {
+    pthread_mutex_init(&repro_pool_mu, NULL);
+    pthread_mutex_init(&repro_caller_mu, NULL);
+    pthread_cond_init(&repro_pool_wake, NULL);
+    pthread_cond_init(&repro_pool_done, NULL);
+    repro_pool_workers = 0;
+    repro_pool_pending = 0;
+    repro_pool_gen = 0;
+}
+
+static int repro_pool_atfork_registered = 0;
+
+/* Grow the pool to at least `workers` detached threads; returns the count
+ * actually available (thread creation is best-effort). */
+int64_t repro_pool_ensure(int64_t workers) {
+    pthread_mutex_lock(&repro_pool_mu);
+    if (!repro_pool_atfork_registered) {
+        if (pthread_atfork(repro_pool_atfork_prepare, repro_pool_atfork_parent,
+                           repro_pool_atfork_child) != 0) {
+            /* No fork protection -> no worker threads. */
+            pthread_mutex_unlock(&repro_pool_mu);
+            return 0;
+        }
+        repro_pool_atfork_registered = 1;
+    }
+    while (repro_pool_workers < workers) {
+        repro_worker_init *init =
+            (repro_worker_init *)malloc(sizeof(repro_worker_init));
+        if (init == NULL)
+            break;
+        init->wid = repro_pool_workers;
+        init->gen = repro_pool_gen;
+        pthread_t th;
+        pthread_attr_t attr;
+        if (pthread_attr_init(&attr) != 0) {
+            free(init);
+            break;
+        }
+        pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+        int rc = pthread_create(&th, &attr, repro_worker, init);
+        pthread_attr_destroy(&attr);
+        if (rc != 0) {
+            free(init);
+            break;
+        }
+        repro_pool_workers++;
+    }
+    int64_t have = repro_pool_workers;
+    pthread_mutex_unlock(&repro_pool_mu);
+    return have;
+}
+
+/* Run one job over `nshards` shards: the calling thread takes shard 0,
+ * pool workers the rest.  Every worker (even idle ones) acknowledges the
+ * job before the next one can be posted, so generations never skip.
+ * Caller must guarantee nshards <= repro_pool_workers + 1. */
+static void repro_run_sharded(void (*fn)(int64_t, int64_t, void *),
+                              void *arg, int64_t nshards) {
+    pthread_mutex_lock(&repro_caller_mu);
+    pthread_mutex_lock(&repro_pool_mu);
+    repro_pool_job.fn = fn;
+    repro_pool_job.arg = arg;
+    repro_pool_job.nshards = nshards;
+    repro_pool_pending = repro_pool_workers;
+    repro_pool_gen++;
+    pthread_cond_broadcast(&repro_pool_wake);
+    pthread_mutex_unlock(&repro_pool_mu);
+    fn(0, nshards, arg);
+    pthread_mutex_lock(&repro_pool_mu);
+    while (repro_pool_pending != 0)
+        pthread_cond_wait(&repro_pool_done, &repro_pool_mu);
+    pthread_mutex_unlock(&repro_pool_mu);
+    pthread_mutex_unlock(&repro_caller_mu);
+}
+
+static void repro_shard_range(int64_t total, int64_t tid, int64_t nshards,
+                              int64_t *lo, int64_t *hi) {
+    *lo = total * tid / nshards;
+    *hi = total * (tid + 1) / nshards;
+}
+
+typedef struct {
+    uint64_t *data;
+    const uint64_t *source;
+    const int64_t *src;
+    const int64_t *dst;
+    int64_t k, n, words;
+} repro_scatter_args;
+
+static void repro_scatter_shard(int64_t tid, int64_t T, void *p) {
+    repro_scatter_args *a = (repro_scatter_args *)p;
+    int64_t lo, hi;
+    repro_shard_range(a->n, tid, T, &lo, &hi);
+    const int64_t words = a->words;
+    for (int64_t i = 0; i < a->k; i++) {
+        const int64_t d = a->dst[i];
+        if (d < lo || d >= hi)
+            continue;
+        uint64_t *dr = a->data + d * words;
+        const uint64_t *sr = a->source + a->src[i] * words;
+        for (int64_t w = 0; w < words; w++)
+            dr[w] |= sr[w];
+    }
+}
+
+void repro_scatter_or_mt(uint64_t *data, const uint64_t *source,
+                         const int64_t *src, const int64_t *dst,
+                         int64_t k, int64_t n, int64_t words,
+                         int64_t nshards) {
+    repro_scatter_args a = {data, source, src, dst, k, n, words};
+    repro_run_sharded(repro_scatter_shard, &a, nshards);
+}
+
+typedef struct {
+    const uint64_t *cur;
+    uint64_t *next;
+    const int64_t *off;
+    const int64_t *adj;
+    int64_t n, words;
+} repro_swap_args;
+
+static void repro_swap_shard(int64_t tid, int64_t T, void *p) {
+    repro_swap_args *a = (repro_swap_args *)p;
+    int64_t lo, hi;
+    repro_shard_range(a->n, tid, T, &lo, &hi);
+    repro_swap_rows(a->cur, a->next, a->off, a->adj, lo, hi, a->words);
+}
+
+/* The CSR build is O(k) integer work — serial on the calling thread —
+ * and the row pass shards over disjoint row ranges reading only the
+ * immutable `cur`, so every shard count produces identical bits. */
+void repro_exchange_mt(const uint64_t *cur, uint64_t *next,
+                       const int64_t *callers, const int64_t *targets,
+                       int64_t k, int64_t n, int64_t words,
+                       int64_t *off, int64_t *adj, int64_t nshards) {
+    repro_sender_csr(callers, targets, k, n, 1, off, adj);
+    repro_swap_args a = {cur, next, off, adj, n, words};
+    repro_run_sharded(repro_swap_shard, &a, nshards);
+}
+
+void repro_push_round_mt(const uint64_t *cur, uint64_t *next,
+                         const int64_t *src, const int64_t *dst,
+                         int64_t k, int64_t n, int64_t words,
+                         int64_t *off, int64_t *adj, int64_t nshards) {
+    repro_sender_csr(src, dst, k, n, 0, off, adj);
+    repro_swap_args a = {cur, next, off, adj, n, words};
+    repro_run_sharded(repro_swap_shard, &a, nshards);
+}
+
+typedef struct {
+    uint64_t *data;
+    int32_t *active;
+    int64_t *nnz;
+    uint8_t *word_active;
+    uint8_t *dense_rows;
+    int64_t cap, words, n, k, p;
+    const int64_t *src;
+    const int64_t *dst;
+    uint64_t *val_buf;
+    int64_t *lin_buf;
+    const int64_t *off;
+} repro_frontier_args;
+
+static void repro_frontier_gather_shard(int64_t tid, int64_t T, void *pa) {
+    repro_frontier_args *a = (repro_frontier_args *)pa;
+    int64_t lo, hi;
+    repro_shard_range(a->k, tid, T, &lo, &hi);
+    for (int64_t i = lo; i < hi; i++) {
+        const int64_t s = a->src[i];
+        const uint64_t *row = a->data + s * a->words;
+        const int32_t *aw = a->active + s * a->cap;
+        const int64_t m = a->nnz[s];
+        const int64_t base = a->dst[i] * a->words;
+        int64_t p = a->off[i];
+        for (int64_t j = 0; j < m; j++, p++) {
+            const int64_t w = aw[j];
+            a->val_buf[p] = row[w];
+            a->lin_buf[p] = base + w;
+        }
+    }
+}
+
+static void repro_frontier_scatter_shard(int64_t tid, int64_t T, void *pa) {
+    repro_frontier_args *a = (repro_frontier_args *)pa;
+    int64_t lo, hi;
+    repro_shard_range(a->n, tid, T, &lo, &hi);
+    /* Row r lies in [lo, hi) iff its linear word index lies in
+     * [lo*words, hi*words) — no divide on the filter path. */
+    const int64_t lo_lin = lo * a->words, hi_lin = hi * a->words;
+    for (int64_t q = 0; q < a->p; q++) {
+        const int64_t lin = a->lin_buf[q];
+        if (lin < lo_lin || lin >= hi_lin)
+            continue;
+        a->data[lin] |= a->val_buf[q];
+        if (!a->word_active[lin]) {
+            a->word_active[lin] = 1;
+            const int64_t r = lin / a->words;
+            if (!a->dense_rows[r]) {
+                if (a->nnz[r] < a->cap) {
+                    a->active[r * a->cap + a->nnz[r]] =
+                        (int32_t)(lin - r * a->words);
+                    a->nnz[r] += 1;
+                } else {
+                    a->dense_rows[r] = 1;
+                }
+            }
+        }
+    }
+}
+
+/* Sharded frontier pass.  Pair offsets per transmission are a serial O(k)
+ * prefix sum (cheap next to the word traffic); the pair gather then runs
+ * sharded over transmissions (disjoint buffer slices), and the scatter +
+ * bookkeeping run sharded over receiver rows.  A shard scans all pairs
+ * and skips foreign rows, so every row's pairs are processed in the same
+ * ascending order as the serial kernel — bookkeeping is bit-identical. */
+void repro_frontier_scatter_mt(uint64_t *data, int32_t *active, int64_t *nnz,
+                               uint8_t *word_active, uint8_t *dense_rows,
+                               int64_t cap, int64_t words, int64_t n,
+                               const int64_t *src, const int64_t *dst,
+                               int64_t k, uint64_t *val_buf, int64_t *lin_buf,
+                               int64_t nshards) {
+    int64_t *off = (int64_t *)malloc((size_t)k * sizeof(int64_t));
+    if (off == NULL) { /* out of memory: the serial kernel needs no offsets */
+        repro_frontier_scatter(data, active, nnz, word_active, dense_rows,
+                               cap, words, src, dst, k, val_buf, lin_buf);
+        return;
+    }
+    int64_t p = 0;
+    for (int64_t i = 0; i < k; i++) {
+        off[i] = p;
+        p += nnz[src[i]];
+    }
+    repro_frontier_args a = {data, active,  nnz, word_active, dense_rows,
+                             cap,  words,   n,   k,           p,
+                             src,  dst,     val_buf, lin_buf, off};
+    repro_run_sharded(repro_frontier_gather_shard, &a, nshards);
+    repro_run_sharded(repro_frontier_scatter_shard, &a, nshards);
+    free(off);
+}
+
+typedef struct {
+    const uint64_t *data;
+    const uint64_t *mask;
+    const int64_t *rows;
+    int64_t k, words;
+    int64_t *deficits;
+} repro_recount_args;
+
+static void repro_recount_shard(int64_t tid, int64_t T, void *pa) {
+    repro_recount_args *a = (repro_recount_args *)pa;
+    int64_t lo, hi;
+    repro_shard_range(a->k, tid, T, &lo, &hi);
+    for (int64_t i = lo; i < hi; i++) {
+        const uint64_t *d = a->data + a->rows[i] * a->words;
+        int64_t missing = 0;
+        for (int64_t w = 0; w < a->words; w++)
+            missing += __builtin_popcountll(a->mask[w] & ~d[w]);
+        a->deficits[i] = missing;
+    }
+}
+
+void repro_recount_mt(const uint64_t *data, const uint64_t *mask,
+                      const int64_t *rows, int64_t k, int64_t words,
+                      int64_t *deficits, int64_t nshards) {
+    repro_recount_args a = {data, mask, rows, k, words, deficits};
+    repro_run_sharded(repro_recount_shard, &a, nshards);
+}
 """
 
 
@@ -230,6 +665,7 @@ def _build() -> Optional[ctypes.CDLL]:
                     compiler,
                     "-O3",
                     "-march=native",
+                    "-pthread",
                     "-shared",
                     "-fPIC",
                     src_path,
@@ -257,10 +693,29 @@ def _build() -> Optional[ctypes.CDLL]:
     lib.repro_frontier_scatter.restype = None
     lib.repro_recount.argtypes = [u64p, u64p, i64p, i64, i64, i64p]
     lib.repro_recount.restype = None
-    lib.repro_exchange.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64]
+    lib.repro_exchange.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p]
     lib.repro_exchange.restype = None
-    lib.repro_push_round.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64]
+    lib.repro_push_round.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p]
     lib.repro_push_round.restype = None
+    lib.repro_pool_ensure.argtypes = [i64]
+    lib.repro_pool_ensure.restype = i64
+    lib.repro_scatter_or_mt.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64]
+    lib.repro_scatter_or_mt.restype = None
+    lib.repro_exchange_mt.argtypes = [
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, i64,
+    ]
+    lib.repro_exchange_mt.restype = None
+    lib.repro_push_round_mt.argtypes = [
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, i64,
+    ]
+    lib.repro_push_round_mt.restype = None
+    lib.repro_frontier_scatter_mt.argtypes = [
+        u64p, i32p, i64p, u8p, u8p, i64, i64, i64, i64p, i64p, i64,
+        u64p, i64p, i64,
+    ]
+    lib.repro_frontier_scatter_mt.restype = None
+    lib.repro_recount_mt.argtypes = [u64p, u64p, i64p, i64, i64, i64p, i64]
+    lib.repro_recount_mt.restype = None
     return lib
 
 
@@ -310,8 +765,17 @@ def exchange(
     scratch: np.ndarray,
     callers: np.ndarray,
     targets: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
 ) -> None:
-    """Snapshot ``data`` into ``scratch`` and apply one push-pull round."""
+    """Apply one push-pull round in swap form.
+
+    Reads ``data`` (unchanged) and writes the complete end-of-round state
+    into ``scratch`` — every row exactly once — using the caller-provided
+    CSR buffers (``off``: ``n + 1`` int64 slots, ``adj``: at least
+    ``2 * callers.size``).  **The caller must swap the two buffers
+    afterwards**; this halves the memory traffic of snapshot + RMW.
+    """
     _LIB.repro_exchange(
         _u64(data),
         _u64(scratch),
@@ -320,6 +784,8 @@ def exchange(
         ctypes.c_int64(callers.size),
         ctypes.c_int64(data.shape[0]),
         ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
     )
 
 
@@ -328,8 +794,13 @@ def push_round(
     scratch: np.ndarray,
     senders: np.ndarray,
     receivers: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
 ) -> None:
-    """Snapshot ``data`` into ``scratch`` and apply one push-only round."""
+    """Apply one push-only round in swap form (see :func:`exchange`).
+
+    ``adj`` needs at least ``senders.size`` slots.
+    """
     _LIB.repro_push_round(
         _u64(data),
         _u64(scratch),
@@ -338,6 +809,8 @@ def push_round(
         ctypes.c_int64(senders.size),
         ctypes.c_int64(data.shape[0]),
         ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
     )
 
 
@@ -393,5 +866,159 @@ def recount_deficits(
         ctypes.c_int64(rows.size),
         ctypes.c_int64(data.shape[1]),
         _i64(deficits),
+    )
+    return deficits
+
+
+# ---------------------------------------------------------------------- #
+# Sharded (multithreaded) variants
+# ---------------------------------------------------------------------- #
+
+#: Worker threads known to exist in the C pool (grown lazily, never shrunk),
+#: together with the process that owns them — pool threads do not survive
+#: ``fork``, so a child process must not trust the inherited count.
+_POOL_WORKERS = 0
+_POOL_PID: Optional[int] = None
+
+#: Hard cap on shards per job — far above any sensible core count, it only
+#: bounds runaway configuration values.
+MAX_SHARDS = 64
+
+
+def ensure_shards(shards: int) -> int:
+    """Grow the worker pool for ``shards``-way jobs; return the usable count.
+
+    The calling thread always executes shard 0 itself, so ``shards`` shards
+    need ``shards - 1`` pool workers.  Thread creation is best-effort: the
+    return value (possibly just 1, meaning "run serial") is the shard count
+    the ``*_mt`` kernels may actually be invoked with.  Safe after ``fork``
+    (e.g. inside ``ProcessPoolExecutor`` workers): the cached count is
+    per-process and the C pool re-spawns its threads in the child.
+    """
+    global _POOL_WORKERS, _POOL_PID
+    if _LIB is None or shards <= 1:
+        return 1
+    pid = os.getpid()
+    if pid != _POOL_PID:
+        _POOL_WORKERS = 0
+        _POOL_PID = pid
+    shards = min(int(shards), MAX_SHARDS)
+    if shards - 1 > _POOL_WORKERS:
+        _POOL_WORKERS = int(_LIB.repro_pool_ensure(ctypes.c_int64(shards - 1)))
+    return min(shards, _POOL_WORKERS + 1)
+
+
+def scatter_or_mt(
+    data: np.ndarray,
+    source: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    shards: int,
+) -> None:
+    """Sharded :func:`scatter_or`; ``shards`` must come from :func:`ensure_shards`."""
+    _LIB.repro_scatter_or_mt(
+        _u64(data),
+        _u64(source),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+        ctypes.c_int64(shards),
+    )
+
+
+def exchange_mt(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    callers: np.ndarray,
+    targets: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
+    shards: int,
+) -> None:
+    """Sharded :func:`exchange` (serial CSR build + row-sharded swap pass)."""
+    _LIB.repro_exchange_mt(
+        _u64(data),
+        _u64(scratch),
+        _i64(callers),
+        _i64(targets),
+        ctypes.c_int64(callers.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
+        ctypes.c_int64(shards),
+    )
+
+
+def push_round_mt(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
+    shards: int,
+) -> None:
+    """Sharded :func:`push_round` (serial CSR build + row-sharded swap pass)."""
+    _LIB.repro_push_round_mt(
+        _u64(data),
+        _u64(scratch),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
+        ctypes.c_int64(shards),
+    )
+
+
+def frontier_scatter_mt(
+    data: np.ndarray,
+    active: np.ndarray,
+    nnz: np.ndarray,
+    word_active: np.ndarray,
+    dense_rows: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    val_buf: np.ndarray,
+    lin_buf: np.ndarray,
+    shards: int,
+) -> None:
+    """Sharded :func:`frontier_scatter`; bookkeeping stays bit-identical."""
+    _LIB.repro_frontier_scatter_mt(
+        _u64(data),
+        active.ctypes.data_as(_I32P),
+        _i64(nnz),
+        word_active.ctypes.data_as(_U8P),
+        dense_rows.ctypes.data_as(_U8P),
+        ctypes.c_int64(active.shape[1]),
+        ctypes.c_int64(data.shape[1]),
+        ctypes.c_int64(data.shape[0]),
+        _i64(senders),
+        _i64(receivers),
+        ctypes.c_int64(senders.size),
+        _u64(val_buf),
+        _i64(lin_buf),
+        ctypes.c_int64(shards),
+    )
+
+
+def recount_deficits_mt(
+    data: np.ndarray, mask: np.ndarray, rows: np.ndarray, shards: int
+) -> np.ndarray:
+    """Sharded :func:`recount_deficits`."""
+    deficits = np.empty(rows.size, dtype=np.int64)
+    _LIB.repro_recount_mt(
+        _u64(data),
+        _u64(mask),
+        _i64(rows),
+        ctypes.c_int64(rows.size),
+        ctypes.c_int64(data.shape[1]),
+        _i64(deficits),
+        ctypes.c_int64(shards),
     )
     return deficits

@@ -14,9 +14,11 @@ loop.  A round is applied as one *snapshot-gather + scatter-OR*: the sender
 rows involved are read (or the whole matrix double-buffered) before any row
 is written, which implements the synchronous-model discipline that every
 transmission of a step reads start-of-step state.  Duplicate receivers are
-resolved either by an order-independent compiled C pass
-(:mod:`repro.engine._ckernel`, disable with ``REPRO_DISABLE_CKERNEL=1``) or
-by a layered NumPy scatter; the two paths are pinned bit-identical by
+resolved either by an order-independent compiled pass — serial or sharded
+across a worker pool, dispatched through the active
+:mod:`repro.engine.backends` backend (``REPRO_KERNEL_BACKEND`` /
+``REPRO_KERNEL_THREADS``; ``REPRO_DISABLE_CKERNEL=1`` forces NumPy) — or by
+a layered NumPy scatter; all paths are pinned bit-identical by
 ``tests/engine/test_kernel_equivalence.py``.
 
 Three classes are provided:
@@ -51,7 +53,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from . import _ckernel
+from . import backends
 
 __all__ = [
     "FrontierKnowledge",
@@ -72,6 +74,15 @@ def _n_words(n_bits: int) -> int:
     return (n_bits + WORD_BITS - 1) // WORD_BITS
 
 
+#: Matrix size (``n_nodes * words``) below which one-directional rounds keep
+#: the snapshot + scatter path instead of the swap-form kernel: small
+#: matrices live in cache, so the swap form's O(batch) CSR build costs more
+#: than the row traffic it saves (measured endpoints: -18% at 16k word
+#: matrices, +25% from ~400k up; exchange rounds carry two edges per channel
+#: and amortize the build even at small sizes, so they are not gated).
+_SWAP_MIN_WORK = 1 << 17
+
+
 class KnowledgeMatrix:
     """Which original messages each node currently knows, as packed bitsets.
 
@@ -88,12 +99,23 @@ class KnowledgeMatrix:
 
     Notes
     -----
-    Rows are mutated in place.  All update helpers take a *snapshot* argument
+    Bulk updates either mutate rows in place or — on the compiled full-round
+    paths — write the end-of-round state into a spare buffer and *swap* it
+    with ``data``, so do not hold references to ``data`` (or row views)
+    across round updates.  All update helpers take a *snapshot* argument
     where the synchronous semantics of the random phone call model require
     reading start-of-step state while writing end-of-step state.
     """
 
-    __slots__ = ("n_nodes", "n_messages", "words", "data", "_scratch")
+    __slots__ = (
+        "n_nodes",
+        "n_messages",
+        "words",
+        "data",
+        "_scratch",
+        "_csr_off",
+        "_csr_adj",
+    )
 
     def __init__(
         self,
@@ -112,8 +134,13 @@ class KnowledgeMatrix:
         self.n_messages = int(n_messages)
         self.words = _n_words(self.n_messages)
         self.data = np.zeros((self.n_nodes, self.words), dtype=_WORD_DTYPE)
-        #: Reusable double buffer for start-of-step snapshots (lazily built).
+        #: Reusable spare buffer for the swap-form round kernels and for
+        #: start-of-step snapshots (lazily built).
         self._scratch: Optional[np.ndarray] = None
+        #: Reusable CSR buffers (offsets / incoming senders) for the
+        #: swap-form round kernels (lazily built, grown on demand).
+        self._csr_off: Optional[np.ndarray] = None
+        self._csr_adj: Optional[np.ndarray] = None
         if initialize_own:
             upto = min(self.n_nodes, self.n_messages)
             idx = np.arange(upto)
@@ -226,15 +253,30 @@ class KnowledgeMatrix:
         if senders.size == 0:
             return np.zeros(0, dtype=np.int64)
         if snapshot is None:
-            if _ckernel.available() and senders.size * 4 >= self.n_nodes:
-                # Fused snapshot + scatter in one compiled pass.
+            backend = backends.active()
+            if (
+                backend.use_compiled()
+                and senders.size * 4 >= self.n_nodes
+                and self.n_nodes * self.words >= _SWAP_MIN_WORK
+            ):
+                # Swap-form compiled round: the next state is written into
+                # the spare buffer (each row exactly once) and the buffers
+                # swap — no whole-matrix snapshot copy.  Small matrices stay
+                # on the snapshot + scatter path below: their rows fit in
+                # cache, so the CSR build's integer work would dominate
+                # (measured: the swap form loses ~18% at n=1000 x 16 words
+                # and wins ~25% from n=5000 x 79 words up).
                 self._ensure_scratch()
-                _ckernel.push_round(
+                off, adj = self._csr_buffers(senders.size)
+                backend.push_round(
                     self.data,
                     self._scratch,
                     np.ascontiguousarray(senders),
                     np.ascontiguousarray(receivers),
+                    off,
+                    adj,
                 )
+                self.data, self._scratch = self._scratch, self.data
                 return receivers
             source, senders = self._snapshot_sources(senders)
         else:
@@ -245,6 +287,14 @@ class KnowledgeMatrix:
         if self._scratch is None:
             self._scratch = np.empty_like(self.data)
         return self._scratch
+
+    def _csr_buffers(self, edges: int) -> "tuple[np.ndarray, np.ndarray]":
+        """CSR scratch for the swap-form round kernels (grown on demand)."""
+        if self._csr_off is None:
+            self._csr_off = np.empty(self.n_nodes + 1, dtype=np.int64)
+        if self._csr_adj is None or self._csr_adj.size < edges:
+            self._csr_adj = np.empty(edges, dtype=np.int64)
+        return self._csr_off, self._csr_adj
 
     def _snapshot_sources(
         self, senders: np.ndarray
@@ -282,12 +332,14 @@ class KnowledgeMatrix:
         Returns the receivers whose rows were written (possibly with
         duplicates on the compiled path; sorted unique on the NumPy path).
         """
-        if _ckernel.available():
-            # The C loop applies transmissions sequentially; because
-            # ``source`` is snapshot storage disjoint from ``data``, the
-            # result is order-independent even with duplicate receivers, so
-            # no sorting or layering is needed at all.
-            _ckernel.scatter_or(
+        backend = backends.active()
+        if backend.use_compiled():
+            # The compiled scatter applies transmissions row-sequentially
+            # (serial) or receiver-sharded (threaded); because ``source`` is
+            # snapshot storage disjoint from ``data``, the result is
+            # order-independent even with duplicate receivers, so no sorting
+            # or layering is needed at all.
+            backend.scatter_or(
                 self.data,
                 np.ascontiguousarray(source),
                 np.ascontiguousarray(senders),
@@ -353,16 +405,22 @@ class KnowledgeMatrix:
             return empty, empty
         if complete is not None and not complete.any():
             complete = None
-        if complete is None and _ckernel.available():
-            # Unfiltered round: one fused compiled pass (snapshot + both
-            # directions), no intermediate index arrays.
+        backend = backends.active()
+        if complete is None and backend.use_compiled():
+            # Unfiltered round, swap form: both directions are resolved in
+            # one compiled pass that writes each row's end-of-round state
+            # exactly once into the spare buffer, then the buffers swap.
             self._ensure_scratch()
-            _ckernel.exchange(
+            off, adj = self._csr_buffers(2 * callers.size)
+            backend.exchange(
                 self.data,
                 self._scratch,
                 np.ascontiguousarray(callers),
                 np.ascontiguousarray(targets),
+                off,
+                adj,
             )
+            self.data, self._scratch = self._scratch, self.data
             return np.concatenate([callers, targets]), empty
         promoted = empty
         if complete is not None:
@@ -391,8 +449,8 @@ class KnowledgeMatrix:
             )
             push_s = remapped[:n_push]
             pull_s = remapped[n_push:]
-            if _ckernel.available():
-                # One order-independent C pass over both directions.
+            if backend.use_compiled():
+                # One order-independent compiled pass over both directions.
                 touched = self._scatter_or(
                     source,
                     remapped,
@@ -473,7 +531,12 @@ class KnowledgeMatrix:
     # Row-level helpers (used by the random-walk machinery)
     # ------------------------------------------------------------------ #
     def row(self, node: int) -> np.ndarray:
-        """Live view of ``node``'s bitset row."""
+        """Live view of ``node``'s bitset row.
+
+        Valid only until the next bulk update: the swap-form round kernels
+        exchange the underlying buffer, so do not hold this view across
+        :meth:`apply_transmissions` / :meth:`apply_exchange` calls.
+        """
         return self.data[node]
 
     def zero_row(self) -> np.ndarray:
@@ -725,7 +788,8 @@ class FrontierKnowledge(KnowledgeMatrix):
         if dense_s is not None:
             source, dense_idx = self._snapshot_sources(dense_s)
         total = int(self._nnz[sparse_s].sum()) if sparse_s.size else 0
-        if total and _ckernel.available():
+        backend = backends.active()
+        if total and backend.use_compiled():
             # One fused compiled pass: pair gather (still pre-write), scatter
             # and frontier bookkeeping.  Runs before the dense scatter so its
             # value gather also precedes every write of the batch.
@@ -733,7 +797,7 @@ class FrontierKnowledge(KnowledgeMatrix):
                 # Double-up slack: pair counts roughly double per early round.
                 self._val_buf = np.empty(2 * total, dtype=np.uint64)
                 self._lin_buf = np.empty(2 * total, dtype=np.int64)
-            _ckernel.frontier_scatter(
+            backend.frontier_scatter(
                 self.data,
                 self._active_words,
                 self._nnz,
@@ -743,6 +807,7 @@ class FrontierKnowledge(KnowledgeMatrix):
                 np.ascontiguousarray(sparse_r),
                 self._val_buf,
                 self._lin_buf,
+                total,
             )
         elif total:
             nnz = self._nnz[sparse_s]

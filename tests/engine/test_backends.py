@@ -1,0 +1,415 @@
+"""Tests for the kernel backend registry and the sharded (threaded) kernels.
+
+Two layers are covered here:
+
+* the registry itself — name/environment resolution, the ``auto`` rule, the
+  thread-count heuristic with its measured small-batch cutoff, and the
+  :func:`repro.engine.backends.use` override used by tests and benchmarks;
+* bit-identity of every sharded ``*_mt`` kernel against its serial
+  counterpart — row data *and* frontier bookkeeping — at several shard
+  counts, with ``shard_work=1`` so even tiny batches actually thread.
+
+Whole-protocol trajectory parity across backends lives in
+``tests/engine/test_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.completion import CompletionTracker, gossip_complete
+from repro.engine import _ckernel, backends
+from repro.engine.knowledge import FrontierKnowledge, KnowledgeMatrix
+
+needs_compiled = pytest.mark.skipif(
+    not _ckernel.available(), reason="compiled kernel unavailable on this machine"
+)
+
+
+def threaded(max_threads: int) -> backends.CThreadsBackend:
+    """A c-threads backend that shards even the tiniest batches."""
+    return backends.CThreadsBackend(max_threads=max_threads, shard_work=1)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_backend():
+    previous = backends._ACTIVE
+    yield
+    backends.set_active(previous)
+
+
+class TestRegistry:
+    def test_known_names_resolve(self):
+        assert backends.resolve("numpy").name == "numpy"
+        assert backends.resolve("c").name == "c"
+        resolved = backends.resolve("c-threads", max_threads=3)
+        assert resolved.name == "c-threads"
+        assert resolved.max_threads == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backends.resolve("cuda")
+
+    def test_env_backend_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert backends.resolve().name == "numpy"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "c-threads")
+        assert backends.resolve().name == "c-threads"
+
+    def test_env_thread_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "6")
+        assert backends.default_max_threads() == 6
+        assert backends.resolve("c-threads").max_threads == 6
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "soon")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_THREADS"):
+            backends.default_max_threads()
+
+    def test_auto_prefers_threads_then_serial_then_numpy(self, monkeypatch):
+        if _ckernel.available():
+            assert backends.resolve("auto", max_threads=4).name == "c-threads"
+            assert backends.resolve("auto", max_threads=1).name == "c"
+        monkeypatch.setattr(_ckernel, "_LIB", None)
+        assert backends.resolve("auto", max_threads=4).name == "numpy"
+
+    def test_use_context_manager_restores(self):
+        before = backends.active()
+        with backends.use("numpy") as switched:
+            assert backends.active() is switched
+            assert switched.name == "numpy"
+        assert backends.active() is before
+
+    def test_use_compiled_tracks_library_availability(self, monkeypatch):
+        serial = backends.resolve("c")
+        threads = backends.resolve("c-threads", max_threads=4)
+        assert serial.use_compiled() == _ckernel.available()
+        monkeypatch.setattr(_ckernel, "_LIB", None)
+        assert not serial.use_compiled()
+        assert not threads.use_compiled()
+        assert not backends.resolve("numpy").use_compiled()
+
+
+class TestThreadHeuristic:
+    def test_small_batches_stay_serial(self):
+        backend = backends.CThreadsBackend(max_threads=8)
+        # Below twice the measured per-shard work: dispatch would dominate.
+        assert backend.threads_for(0) == 1
+        assert backend.threads_for(backends.WORDS_PER_SHARD) == 1
+        assert backend.threads_for(2 * backends.WORDS_PER_SHARD - 1) == 1
+
+    def test_threads_scale_with_work_and_clamp(self):
+        backend = backends.CThreadsBackend(max_threads=8)
+        assert backend.threads_for(2 * backends.WORDS_PER_SHARD) == 2
+        assert backend.threads_for(5 * backends.WORDS_PER_SHARD) == 5
+        assert backend.threads_for(500 * backends.WORDS_PER_SHARD) == 8
+
+    def test_single_thread_budget_never_shards(self):
+        backend = backends.CThreadsBackend(max_threads=1, shard_work=1)
+        assert backend.threads_for(10**9) == 1
+
+    def test_n1000_exchange_round_is_below_cutoff(self):
+        # The regression guard behind the heuristic: a full n=1000 exchange
+        # round must not pay pool dispatch.
+        n, words = 1000, 16
+        backend = backends.CThreadsBackend(max_threads=8)
+        assert backend.threads_for((2 * n + n) * words) == 1
+
+
+@needs_compiled
+class TestEnsureShards:
+    def test_grows_and_clamps(self, monkeypatch):
+        assert _ckernel.ensure_shards(1) == 1
+        got = _ckernel.ensure_shards(3)
+        assert 1 <= got <= 3
+        # Clamp check with the cap lowered, so the test does not actually
+        # spawn (and permanently keep) MAX_SHARDS-1 worker threads.
+        monkeypatch.setattr(_ckernel, "MAX_SHARDS", 4)
+        assert _ckernel.ensure_shards(10**6) <= 4
+
+    def test_growth_mid_session_stays_correct(self):
+        """Workers spawned after jobs have run must join cleanly.
+
+        A new worker registers at the current pool generation; starting
+        from generation zero instead would let it acknowledge a job it
+        never joined and release a later barrier early.  Interleave pool
+        growth with jobs and check every result.
+        """
+        rng = np.random.default_rng(23)
+        base = random_state(9, 150, 6 * 64)
+        snapshot = base.snapshot()
+        for shards in (2, 3, 5, 8):
+            senders = rng.integers(0, 150, 600).astype(np.int64)
+            receivers = rng.integers(0, 150, 600).astype(np.int64)
+            expected = base.data.copy()
+            _ckernel.scatter_or(expected, snapshot, senders, receivers)
+            got = _ckernel.ensure_shards(shards)
+            for _ in range(3):
+                actual = base.data.copy()
+                _ckernel.scatter_or_mt(actual, snapshot, senders, receivers, got)
+                assert np.array_equal(expected, actual)
+
+    def test_concurrent_mt_callers_from_python_threads(self):
+        """Sharded jobs from several Python threads must not interleave.
+
+        ctypes releases the GIL, and the pool has a single job slot — a
+        caller mutex serializes submissions, so every caller's shards all
+        run (a race drops shards silently: rows lose their ORs).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        got = _ckernel.ensure_shards(4)
+        if got < 2:
+            pytest.skip("no pool workers available")
+        base = random_state(5, 200, 5 * 64)
+        snapshot = base.snapshot()
+        rng = np.random.default_rng(99)
+        jobs = []
+        for _ in range(4):
+            senders = rng.integers(0, 200, 800).astype(np.int64)
+            receivers = rng.integers(0, 200, 800).astype(np.int64)
+            expected = base.data.copy()
+            _ckernel.scatter_or(expected, snapshot, senders, receivers)
+            jobs.append((senders, receivers, expected))
+
+        def work(job):
+            senders, receivers, expected = job
+            for _ in range(50):
+                actual = base.data.copy()
+                _ckernel.scatter_or_mt(actual, snapshot, senders, receivers, got)
+                if not np.array_equal(actual, expected):
+                    return False
+            return True
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert all(pool.map(work, jobs))
+
+    def test_threaded_kernels_usable_after_fork(self):
+        """Pool threads do not survive fork; the child must rebuild them.
+
+        The child grows a fresh pool step by step (generation bookkeeping
+        from scratch) and verifies a sharded scatter against the serial
+        result computed in the parent.  A regression here deadlocks or
+        produces partial rows, so the parent enforces a timeout.
+        """
+        assert _ckernel.ensure_shards(4) >= 1  # parent pool exists pre-fork
+        base = random_state(3, 120, 4 * 64)
+        snapshot = base.snapshot()
+        rng = np.random.default_rng(77)
+        senders = rng.integers(0, 120, 500).astype(np.int64)
+        receivers = rng.integers(0, 120, 500).astype(np.int64)
+        expected = base.data.copy()
+        _ckernel.scatter_or(expected, snapshot, senders, receivers)
+
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            status = b"0"
+            try:
+                ok = True
+                for shards in (2, 4, 8):
+                    got = _ckernel.ensure_shards(shards)
+                    actual = base.data.copy()
+                    if got > 1:
+                        _ckernel.scatter_or_mt(
+                            actual, snapshot, senders, receivers, got
+                        )
+                    else:
+                        _ckernel.scatter_or(actual, snapshot, senders, receivers)
+                    ok = ok and bool(np.array_equal(actual, expected))
+                status = b"1" if ok else b"0"
+            finally:
+                os.write(write_fd, status)
+                os._exit(0)
+        os.close(write_fd)
+        try:
+            ready, _, _ = select.select([read_fd], [], [], 60)
+            if not ready:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+                pytest.fail("threaded kernel deadlocked in forked child")
+            result = os.read(read_fd, 1)
+        finally:
+            os.close(read_fd)
+        os.waitpid(pid, 0)
+        assert result == b"1"
+
+
+def random_state(seed: int, n: int, words_bits: int) -> KnowledgeMatrix:
+    rng = np.random.default_rng(seed)
+    km = KnowledgeMatrix(n, words_bits)
+    km.data |= rng.integers(0, 2**63, size=km.data.shape, dtype=np.uint64)
+    return km
+
+
+@needs_compiled
+class TestShardedKernelParity:
+    """Every *_mt kernel is bit-identical to serial at any shard count."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scatter_or(self, shards, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(16, 200))
+        base = random_state(seed, n, 8 * 64)
+        snapshot = base.snapshot()
+        k = int(rng.integers(1, 4 * n))
+        senders = rng.integers(0, n, k).astype(np.int64)
+        receivers = rng.integers(0, n // 2, k).astype(np.int64)  # collisions
+
+        serial = base.data.copy()
+        _ckernel.scatter_or(serial, snapshot, senders, receivers)
+        sharded = base.data.copy()
+        got = _ckernel.ensure_shards(shards)
+        _ckernel.scatter_or_mt(sharded, snapshot, senders, receivers, got)
+        assert np.array_equal(serial, sharded)
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exchange_and_push_round(self, shards, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(16, 150))
+        base = random_state(seed, n, 6 * 64)
+        callers = np.arange(n, dtype=np.int64)
+        targets = rng.integers(0, n, n).astype(np.int64)
+        off = np.empty(n + 1, dtype=np.int64)
+        adj = np.empty(2 * n, dtype=np.int64)
+        got = _ckernel.ensure_shards(shards)
+
+        # Reference: snapshot semantics, one OR per channel direction.
+        expected = base.data.copy()
+        snapshot = expected.copy()
+        for c, t in zip(callers.tolist(), targets.tolist()):
+            expected[c] |= snapshot[t]
+            expected[t] |= snapshot[c]
+
+        serial_next = np.empty_like(base.data)
+        _ckernel.exchange(base.data, serial_next, callers, targets, off, adj)
+        sharded_next = np.empty_like(base.data)
+        _ckernel.exchange_mt(
+            base.data, sharded_next, callers, targets, off, adj, got
+        )
+        assert np.array_equal(serial_next, expected)
+        assert np.array_equal(serial_next, sharded_next)
+
+        expected = base.data.copy()
+        for c, t in zip(targets.tolist(), callers.tolist()):
+            expected[t] |= snapshot[c]
+        serial_next = np.empty_like(base.data)
+        _ckernel.push_round(base.data, serial_next, targets, callers, off, adj)
+        sharded_next = np.empty_like(base.data)
+        _ckernel.push_round_mt(
+            base.data, sharded_next, targets, callers, off, adj, got
+        )
+        assert np.array_equal(serial_next, expected)
+        assert np.array_equal(serial_next, sharded_next)
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_recount(self, shards):
+        rng = np.random.default_rng(7)
+        km = random_state(11, 120, 5 * 64)
+        mask = km.full_row_mask()
+        rows = np.sort(rng.choice(120, size=77, replace=False)).astype(np.int64)
+        got = _ckernel.ensure_shards(shards)
+        assert np.array_equal(
+            _ckernel.recount_deficits(km.data, mask, rows),
+            _ckernel.recount_deficits_mt(km.data, mask, rows, got),
+        )
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_frontier_scatter_data_and_bookkeeping(self, shards):
+        def run(nshards):
+            rng = np.random.default_rng(31)
+            fk = FrontierKnowledge(240, 70 * 64)
+            for _ in range(5):
+                k = int(rng.integers(1, 700))
+                senders = rng.integers(0, 240, k).astype(np.int64)
+                receivers = rng.integers(0, 240, k).astype(np.int64)
+                total = int(fk._nnz[senders].sum())
+                if total == 0:
+                    continue
+                if fk._val_buf is None or fk._val_buf.size < total:
+                    fk._val_buf = np.empty(2 * total, dtype=np.uint64)
+                    fk._lin_buf = np.empty(2 * total, dtype=np.int64)
+                if nshards == 1:
+                    _ckernel.frontier_scatter(
+                        fk.data, fk._active_words, fk._nnz, fk._word_active,
+                        fk._dense_rows, senders, receivers,
+                        fk._val_buf, fk._lin_buf,
+                    )
+                else:
+                    _ckernel.frontier_scatter_mt(
+                        fk.data, fk._active_words, fk._nnz, fk._word_active,
+                        fk._dense_rows, senders, receivers,
+                        fk._val_buf, fk._lin_buf, nshards,
+                    )
+            return fk
+
+        serial = run(1)
+        sharded = run(_ckernel.ensure_shards(shards))
+        assert np.array_equal(serial.data, sharded.data)
+        assert np.array_equal(serial._nnz, sharded._nnz)
+        assert np.array_equal(serial._active_words, sharded._active_words)
+        assert np.array_equal(serial._word_active, sharded._word_active)
+        assert np.array_equal(serial._dense_rows, sharded._dense_rows)
+
+
+@needs_compiled
+class TestBackendDispatchParity:
+    """The matrix-level entry points agree across installed backends."""
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_knowledge_rounds_match_serial_backend(self, threads):
+        def run(backend):
+            rng = np.random.default_rng(91)
+            km = KnowledgeMatrix(300)
+            with backends.use(backend):
+                for _ in range(6):
+                    callers = np.arange(300, dtype=np.int64)
+                    targets = rng.integers(0, 300, 300).astype(np.int64)
+                    km.apply_exchange(callers, targets)
+                    senders = rng.integers(0, 300, 500).astype(np.int64)
+                    receivers = rng.integers(0, 300, 500).astype(np.int64)
+                    km.apply_transmissions(senders, receivers)
+            return km.data.copy()
+
+        assert np.array_equal(
+            run(backends.CSerialBackend()), run(threaded(threads))
+        )
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_frontier_matrix_rounds_match(self, threads):
+        def run(backend):
+            rng = np.random.default_rng(17)
+            fk = FrontierKnowledge(260, 70 * 64)
+            with backends.use(backend):
+                for _ in range(8):
+                    senders = rng.integers(0, 260, 260).astype(np.int64)
+                    receivers = rng.integers(0, 260, 260).astype(np.int64)
+                    fk.apply_transmissions(senders, receivers)
+            return fk
+
+        serial = run(backends.CSerialBackend())
+        sharded = run(threaded(threads))
+        assert np.array_equal(serial.data, sharded.data)
+        assert np.array_equal(serial._dense_rows, sharded._dense_rows)
+        assert np.array_equal(serial._nnz, sharded._nnz)
+
+    def test_completion_tracker_matches_reference(self):
+        rng = np.random.default_rng(5)
+        n = 150
+        km = KnowledgeMatrix(n)
+        with backends.use(threaded(8)):
+            tracker = CompletionTracker(km)
+            for _ in range(50):
+                senders = rng.integers(0, n, 2 * n).astype(np.int64)
+                receivers = rng.integers(0, n, 2 * n).astype(np.int64)
+                touched = km.apply_transmissions(senders, receivers)
+                tracker.update(touched)
+                assert tracker.is_complete() == gossip_complete(km)
+                if tracker.is_complete():
+                    break
+        assert tracker.is_complete()

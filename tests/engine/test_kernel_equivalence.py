@@ -12,7 +12,10 @@ row ORs evaluated against a start-of-step snapshot.  They cover
 * the incremental :class:`CompletionTracker` against ``gossip_complete``
   across randomized round sequences, with and without failures,
 * bit-identical results between the compiled and pure-NumPy code paths,
-  including whole protocol runs.
+  including whole protocol runs,
+* bit-identical whole-protocol trajectories across the ``numpy`` / ``c`` /
+  ``c-threads`` kernel backends at 1, 2 and 8 threads
+  (:class:`TestBackendTrajectoryParity`).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ import pytest
 
 from repro.core.completion import CompletionTracker, gossip_complete
 from repro.core.random_walks import WalkPool
-from repro.engine import _ckernel
+from repro.engine import _ckernel, backends
 from repro.engine.knowledge import KnowledgeMatrix
 
 
@@ -245,3 +248,52 @@ class TestCompiledMatchesNumpy:
             assert a.completed == b.completed
             assert a.knowledge == b.knowledge
             assert a.ledger.total() == b.ledger.total()
+
+
+@pytest.mark.skipif(not _ckernel.available(), reason="no compiled kernel")
+class TestBackendTrajectoryParity:
+    """Full-protocol trajectories are backend- and thread-count-invariant.
+
+    Receiver shards partition rows disjointly and every gather precedes
+    every write, so the ``c-threads`` backend must reproduce the serial
+    trajectories bit-for-bit at any thread count.  ``shard_work=1`` forces
+    the threaded kernels on, despite the small test batches that would
+    normally stay below the dispatch cutoff.
+    """
+
+    def _backend_matrix(self):
+        yield "numpy", backends.NumpyBackend()
+        yield "c", backends.CSerialBackend()
+        for threads in (1, 2, 8):
+            yield (
+                f"c-threads[{threads}]",
+                backends.CThreadsBackend(max_threads=threads, shard_work=1),
+            )
+
+    def test_all_protocols_all_backends(self, small_paper_graph):
+        from repro import FastGossiping, MemoryGossiping, PushPullGossip
+
+        protocols = (
+            (PushPullGossip, 21),
+            (FastGossiping, 22),
+            (lambda: MemoryGossiping(leader=0), 23),
+        )
+        for factory, seed in protocols:
+            reference = None
+            for label, backend in self._backend_matrix():
+                with backends.use(backend):
+                    result = factory().run(small_paper_graph, rng=seed)
+                summary = (
+                    result.rounds,
+                    result.completed,
+                    result.ledger.total(),
+                )
+                if reference is None:
+                    reference = (summary, result.knowledge)
+                else:
+                    assert summary == reference[0], (
+                        f"{factory} trajectory diverged on backend {label}"
+                    )
+                    assert result.knowledge == reference[1], (
+                        f"{factory} knowledge diverged on backend {label}"
+                    )
