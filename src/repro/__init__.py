@@ -52,6 +52,12 @@ per-walk Python loop survives on the per-round hot path.
   ``REPRO_KERNEL_THREADS``; trajectories are bit-identical across backends
   and thread counts.  ``REPRO_DISABLE_CKERNEL=1`` remains the kill switch
   that forces the pure-NumPy fallback.
+* Experiments are declarative scenarios: every paper figure/table and
+  extension is a :class:`repro.experiments.ScenarioSpec` executed by a
+  streaming, resumable sweep engine (``repro scenarios run`` with
+  ``--jobs`` for process parallelism and ``--out``/``--resume`` for the
+  JSONL result store that makes interrupted sweeps resume bit-identically;
+  see ``docs/experiments.md``).
 
 Run ``PYTHONPATH=src python scripts/run_benchmarks.py`` to reproduce the
 committed ``BENCH_kernel.json`` baseline (full protocol runs plus raw kernel

@@ -1,4 +1,4 @@
-"""Parameter sweeps with optional process-based parallelism.
+"""Parameter sweeps with streaming, resumable process-based parallelism.
 
 Experiments are embarrassingly parallel across (configuration, repetition)
 pairs, so :func:`run_sweep` distributes them over a
@@ -6,17 +6,47 @@ pairs, so :func:`run_sweep` distributes them over a
 items must be picklable, which is why the sweep operates on *task functions*
 defined at module level plus plain-data task descriptions rather than on
 closures.
+
+The scheduler streams completions (``concurrent.futures.wait`` with a bounded
+submission window rather than blocking in submission order), reports progress
+through a callback, hands every finished record to an ``on_result`` hook the
+moment it exists (the result store uses this for incremental persistence), and
+propagates the kernel-backend environment (``REPRO_KERNEL_BACKEND``,
+``REPRO_KERNEL_THREADS``, and the other ``REPRO_*`` switches) into worker
+processes via a pool initializer so sweeps behave identically under the
+``fork`` and ``spawn`` start methods.
+
+Seeds are derived from a *stable hash of the configuration key* (not the
+configuration's position in the grid), so adding or removing one configuration
+never reshuffles the seeds — and therefore the trajectories — of the others.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import hashlib
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.rng import derive_seed
+from ..io.results import canonical_json
 
-__all__ = ["SweepTask", "run_sweep", "expand_grid"]
+__all__ = [
+    "SweepTask",
+    "run_sweep",
+    "expand_grid",
+    "stable_key_hash",
+    "canonical_json",
+]
+
+#: Called after every completed task with ``(index, task, record)``; may return
+#: a replacement record (the store returns the JSON-round-tripped one so the
+#: in-memory view matches what resumed runs will load from disk).
+ResultHook = Callable[[int, "SweepTask", Dict[str, Any]], Optional[Dict[str, Any]]]
+
+#: Called with ``(done, total)`` after every completed task.
+ProgressHook = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -42,6 +72,16 @@ class SweepTask:
     seed: int
 
 
+def stable_key_hash(key: Any) -> int:
+    """Map a configuration key to a stable 63-bit integer.
+
+    Stable across processes and Python versions (unlike the salted builtin
+    ``hash``): the key is canonically JSON-serialized and SHA-256 hashed.
+    """
+    digest = hashlib.sha256(canonical_json(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63 - 1)
+
+
 def expand_grid(
     configurations: Sequence[Tuple[Any, Dict[str, Any]]],
     repetitions: int,
@@ -49,15 +89,19 @@ def expand_grid(
 ) -> List[SweepTask]:
     """Expand (key, params) configurations into per-repetition tasks.
 
-    Seeds are derived deterministically from ``base_seed`` and the task
-    coordinates so that re-running the sweep reproduces exactly the same runs.
+    Seeds are derived deterministically from ``base_seed``, a stable hash of
+    the configuration *key* and the repetition index.  Because the key (not
+    the grid position) identifies the configuration, inserting or removing a
+    configuration leaves every other configuration's seeds — and therefore
+    its simulated trajectories — untouched.
     """
     if repetitions <= 0:
         raise ValueError(f"repetitions must be positive, got {repetitions}")
     tasks: List[SweepTask] = []
-    for config_index, (key, params) in enumerate(configurations):
+    for key, params in configurations:
+        key_hash = stable_key_hash(key)
         for repetition in range(repetitions):
-            seed = derive_seed(base_seed, config_index, repetition)
+            seed = derive_seed(base_seed, key_hash, repetition)
             tasks.append(
                 SweepTask(key=key, params=dict(params), repetition=repetition, seed=seed)
             )
@@ -72,11 +116,44 @@ def _run_one(task_fn: Callable[[SweepTask], Dict[str, Any]], task: SweepTask) ->
     return record
 
 
+def _capture_worker_env() -> Dict[str, str]:
+    """Snapshot the ``REPRO_*`` switches that must reach worker processes."""
+    return {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+
+def _worker_initializer(env: Dict[str, str]) -> None:
+    """Install the parent's kernel-backend environment in a pool worker.
+
+    Under the ``fork`` start method the environment is inherited anyway; under
+    ``spawn`` this runs before any backend is resolved, so
+    ``REPRO_KERNEL_BACKEND`` / ``REPRO_KERNEL_THREADS`` (and the kill
+    switches) select the same kernels in workers as in the parent.
+    """
+    os.environ.update(env)
+
+
+def _notify(
+    records: List[Optional[Dict[str, Any]]],
+    index: int,
+    task: SweepTask,
+    record: Dict[str, Any],
+    on_result: Optional[ResultHook],
+) -> None:
+    if on_result is not None:
+        replacement = on_result(index, task, record)
+        if replacement is not None:
+            record = replacement
+    records[index] = record
+
+
 def run_sweep(
     task_fn: Callable[[SweepTask], Dict[str, Any]],
     tasks: Sequence[SweepTask],
     *,
     n_jobs: int = 1,
+    progress: Optional[ProgressHook] = None,
+    on_result: Optional[ResultHook] = None,
+    window: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Execute ``task_fn`` for every task, serially or over a process pool.
 
@@ -90,22 +167,80 @@ def run_sweep(
     n_jobs:
         Number of worker processes; ``1`` (default) runs in-process, which is
         also the fallback whenever only one task exists.
+    progress:
+        Optional ``(done, total)`` callback, fired after every completion in
+        completion order.
+    on_result:
+        Optional ``(index, task, record)`` hook fired the moment a task
+        finishes (before the sweep as a whole completes); a non-``None``
+        return value replaces the record in the returned list.  The result
+        store uses this for incremental JSONL persistence.
+    window:
+        Maximum number of tasks submitted to the pool at once (chunked
+        submission); defaults to ``max(4 * n_jobs, 16)``.  Bounding the
+        window keeps memory flat for very large grids.
 
     Returns
     -------
     list of dict
-        One record per task, in task order.
+        One record per task, in task order (regardless of completion order).
+
+    Raises
+    ------
+    Exception
+        The first task error is re-raised immediately (fail-fast); pending
+        work is cancelled.
     """
     tasks = list(tasks)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be at least 1, got {n_jobs}")
-    if n_jobs == 1 or len(tasks) <= 1:
-        return [_run_one(task_fn, task) for task in tasks]
-    records: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        futures = {
-            pool.submit(_run_one, task_fn, task): index for index, task in enumerate(tasks)
-        }
-        for future, index in futures.items():
-            records[index] = future.result()
+    total = len(tasks)
+    records: List[Optional[Dict[str, Any]]] = [None] * total
+    if n_jobs == 1 or total <= 1:
+        for index, task in enumerate(tasks):
+            _notify(records, index, task, _run_one(task_fn, task), on_result)
+            if progress is not None:
+                progress(index + 1, total)
+        return [record for record in records if record is not None]
+
+    if window is None:
+        window = max(4 * n_jobs, 16)
+    if window < 1:
+        raise ValueError(f"window must be at least 1, got {window}")
+
+    done_count = 0
+    pending_iter = iter(enumerate(tasks))
+    with ProcessPoolExecutor(
+        max_workers=n_jobs,
+        initializer=_worker_initializer,
+        initargs=(_capture_worker_env(),),
+    ) as pool:
+        in_flight: Dict[Any, int] = {}
+
+        def submit_next() -> bool:
+            try:
+                index, task = next(pending_iter)
+            except StopIteration:
+                return False
+            in_flight[pool.submit(_run_one, task_fn, task)] = index
+            return True
+
+        for _ in range(min(window, total)):
+            submit_next()
+        try:
+            while in_flight:
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = in_flight.pop(future)
+                    # .result() re-raises worker exceptions -> fail-fast.
+                    _notify(records, index, tasks[index], future.result(), on_result)
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, total)
+                    submit_next()
+        except BaseException:
+            for future in in_flight:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     return [record for record in records if record is not None]

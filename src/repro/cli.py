@@ -1,16 +1,23 @@
 """Command-line interface of the reproduction library.
 
-Installed as ``python -m repro``; four subcommands cover the common workflows:
+Installed as ``python -m repro``; the subcommands cover the common workflows:
 
 ``run``
     Execute one gossiping protocol on a freshly sampled graph and print the
     cost summary (optionally as JSON).
 
+``scenarios``
+    The scenario registry front-end: ``scenarios list`` shows every
+    registered experiment scenario; ``scenarios run`` executes one or more of
+    them through the resumable sweep engine (``--jobs`` for process
+    parallelism, ``--out`` for the on-disk result store + exports,
+    ``--resume`` to skip already-persisted (configuration, repetition) pairs
+    after an interruption, ``--smoke`` for the tiny CI scale).
+
 ``experiment``
-    Run one of the named experiments (``figure1`` … ``figure5``, ``table1``,
-    ``density``, ``broadcast``, ``parameters``, ``redundancy``, ``election``)
-    at the quick laptop scale, print the reproduced rows and optionally an
-    ASCII rendition of the figure, and persist the rows to a directory.
+    Legacy alias: run one named scenario at the quick laptop scale, print the
+    reproduced rows and optionally an ASCII rendition of the figure, and
+    persist the rows to a directory.
 
 ``table1``
     Print the paper's Table 1 constants resolved for the given sizes.
@@ -25,9 +32,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .analysis.ascii_plot import plot_experiment_rows
 from .core import (
     FastGossiping,
     LeaderElection,
@@ -37,27 +44,15 @@ from .core import (
 )
 from .engine import MessageAccounting
 from .experiments import (
-    BroadcastAblationConfig,
-    DensitySweepConfig,
-    LeaderElectionConfig,
-    ParameterAblationConfig,
-    RobustnessConfig,
-    RobustnessDetailConfig,
-    SizeSweepConfig,
-    run_broadcast_ablation,
-    run_density_sweep,
-    run_figure1,
-    run_figure2,
-    run_figure3,
-    run_figure4,
-    run_figure5,
-    run_leader_election_cost,
-    run_parameter_ablation,
-    run_redundancy_ablation,
-    run_table1,
+    all_scenarios,
+    get_scenario,
+    resolve_config,
+    run_scenario,
+    scenario_names,
+    scenario_plot,
 )
 from .graphs import GraphSpec, make_graph, paper_edge_probability, profile_graph
-from .io import format_table, save_json, to_jsonable
+from .io import ResultStore, format_table, save_json, to_jsonable
 
 __all__ = ["main", "build_parser"]
 
@@ -97,10 +92,53 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     run_parser.set_defaults(func=_cmd_run)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run a named experiment")
+    scenario_parser = subparsers.add_parser(
+        "scenarios", help="list or run registered experiment scenarios"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+
+    list_parser = scenario_sub.add_parser("list", help="list the scenario registry")
+    list_parser.set_defaults(func=_cmd_scenarios_list)
+
+    srun_parser = scenario_sub.add_parser(
+        "run", help="run scenarios through the resumable sweep engine"
+    )
+    srun_parser.add_argument(
+        "names",
+        nargs="+",
+        metavar="scenario",
+        help=f"scenario name(s); one of: {', '.join(scenario_names())}",
+    )
+    srun_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep (default 1)"
+    )
+    srun_parser.add_argument(
+        "--out",
+        default=None,
+        help="output directory; enables the JSONL result store (under OUT/store) "
+        "and persists the aggregated rows",
+    )
+    srun_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip (configuration, repetition) pairs already in the store "
+        "(requires --out)",
+    )
+    srun_parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-scale configuration"
+    )
+    srun_parser.add_argument(
+        "--plot", action="store_true", help="render an ASCII plot of the main series"
+    )
+    srun_parser.add_argument("--seed", type=int, default=None, help="override base seed")
+    srun_parser.set_defaults(func=_cmd_scenarios_run)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a named experiment (alias of `scenarios run`)"
+    )
     experiment_parser.add_argument(
         "name",
-        choices=sorted(_EXPERIMENTS),
+        choices=scenario_names(),
         help="experiment to run (paper figure/table or extension)",
     )
     experiment_parser.add_argument(
@@ -186,87 +224,91 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
-#: Experiment registry: name -> (runner, kwargs factory, plot settings).
-_EXPERIMENTS: Dict[str, Dict[str, object]] = {
-    "figure1": {
-        "run": lambda seed: run_figure1(
-            SizeSweepConfig(sizes=(256, 512, 1024, 2048), repetitions=2, seed=seed or 20150525)
-        ),
-        "plot": {"x": "n", "y": "messages_per_node", "group_by": "protocol", "log_x": True},
-    },
-    "figure2": {
-        "run": lambda seed: run_figure2(
-            RobustnessConfig(size=1024, repetitions=2, seed=seed or 20150526)
-        ),
-        "plot": {"x": "failed", "y": "loss_ratio", "group_by": None, "log_x": False},
-    },
-    "figure3": {
-        "run": lambda seed: run_figure3(
-            RobustnessConfig(size=512, repetitions=2, seed=seed or 20150526), sizes=(512, 1024)
-        ),
-        "plot": {"x": "failed", "y": "loss_ratio", "group_by": "n", "log_x": False},
-    },
-    "figure4": {
-        "run": lambda seed: run_figure4(),
-        "plot": {"x": "n", "y": "messages_per_node", "group_by": None, "log_x": True},
-    },
-    "figure5": {
-        "run": lambda seed: run_figure5(
-            RobustnessDetailConfig(sizes=(512, 1024), repetitions=3, seed=seed or 20150527)
-        ),
-        "plot": {"x": "failed", "y": "exceed_T0", "group_by": "n", "log_x": False},
-    },
-    "table1": {"run": lambda seed: run_table1(), "plot": None},
-    "density": {
-        "run": lambda seed: run_density_sweep(
-            DensitySweepConfig(size=512, repetitions=2, seed=seed or 20150528)
-        ),
-        "plot": {"x": "expected_degree", "y": "messages_per_node", "group_by": "protocol", "log_x": True},
-    },
-    "broadcast": {
-        "run": lambda seed: run_broadcast_ablation(
-            BroadcastAblationConfig(sizes=(256, 512, 1024), repetitions=2, seed=seed or 20150529)
-        ),
-        "plot": {"x": "n", "y": "messages_per_node", "group_by": "task", "log_x": True},
-    },
-    "parameters": {
-        "run": lambda seed: run_parameter_ablation(
-            ParameterAblationConfig(size=512, repetitions=2, seed=seed or 20150530)
-        ),
-        "plot": None,
-    },
-    "redundancy": {
-        "run": lambda seed: run_redundancy_ablation(
-            RobustnessConfig(size=1024, failed_fractions=(0.0, 0.1, 0.3), repetitions=2, seed=seed or 20150532)
-        ),
-        "plot": {"x": "failed", "y": "loss_ratio", "group_by": "gather_contacts", "log_x": False},
-    },
-    "election": {
-        "run": lambda seed: run_leader_election_cost(
-            LeaderElectionConfig(sizes=(256, 512, 1024), repetitions=2, seed=seed or 20150531)
-        ),
-        "plot": {"x": "n", "y": "messages_per_node", "group_by": "variant", "log_x": True},
-    },
-}
+def _print_plot(result) -> None:
+    plot = scenario_plot(result)
+    if plot:
+        print()
+        print(plot)
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.result_name, spec.legacy_entry or "-", spec.description]
+        for spec in all_scenarios()
+    ]
+    print(
+        format_table(
+            ["scenario", "result", "legacy entry point", "description"],
+            rows,
+            title="Registered experiment scenarios",
+        )
+    )
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.out:
+        print("error: --resume requires --out (the store to resume from)", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    unknown = [name for name in args.names if name not in scenario_names()]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; "
+            f"known: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    out = Path(args.out) if args.out else None
+    store = ResultStore(out / "store") if out else None
+    try:
+        for name in args.names:
+            spec = get_scenario(name)
+            config = resolve_config(
+                spec, seed=args.seed, smoke=args.smoke, profile="cli"
+            )
+
+            def progress(done: int, total: int, _name: str = name) -> None:
+                print(f"\r{_name}: {done}/{total} tasks", end="", file=sys.stderr, flush=True)
+
+            try:
+                result = run_scenario(
+                    spec,
+                    config=config,
+                    n_jobs=args.jobs,
+                    store=store if spec.run_override is None else None,
+                    resume=args.resume,
+                    progress=progress,
+                )
+            except RuntimeError as error:
+                print(f"\nerror: {error}", file=sys.stderr)
+                return 1
+            print(file=sys.stderr)
+            print(result.to_table())
+            if args.plot:
+                _print_plot(result)
+            if out:
+                paths = result.save(out)
+                if store is not None and spec.run_override is None:
+                    print(f"store: {store.path_for(spec.name)}")
+                for label, path in paths.items():
+                    print(f"saved {label}: {path}")
+            print()
+    finally:
+        if store is not None:
+            store.close()
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    entry = _EXPERIMENTS[args.name]
-    result = entry["run"](args.seed)  # type: ignore[operator]
+    spec = get_scenario(args.name)
+    config = resolve_config(spec, seed=args.seed, profile="cli")
+    result = run_scenario(spec, config=config)
     print(result.to_table())
-    plot_spec = entry.get("plot")
-    if args.plot and plot_spec:
-        print()
-        print(
-            plot_experiment_rows(
-                result.rows,
-                x=plot_spec["x"],
-                y=plot_spec["y"],
-                group_by=plot_spec["group_by"],
-                log_x=plot_spec["log_x"],
-                title=result.description,
-            )
-        )
+    if args.plot:
+        _print_plot(result)
     if args.output:
         paths = result.save(args.output)
         print()

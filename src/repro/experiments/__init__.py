@@ -1,10 +1,15 @@
-"""Experiment harness: one module per paper table/figure plus extensions.
+"""Experiment harness: a declarative scenario registry plus legacy wrappers.
 
-Every ``run_*`` function returns an
-:class:`~repro.experiments.runner.ExperimentResult` whose rows correspond to
-the points of the paper's plot (or the rows of its table); call
-``result.to_table()`` for a printable report or ``result.save(dir)`` to
-persist the rows as JSON/CSV.
+Every paper table/figure and every extension is registered as a
+:class:`~repro.experiments.scenarios.ScenarioSpec` — grid, task function,
+aggregation recipe and render hints — and executed by
+:func:`~repro.experiments.scenarios.run_scenario`, optionally against the
+resumable on-disk result store (:class:`repro.io.store.ResultStore`).  The
+historical ``run_*`` functions remain as thin wrappers over the registry;
+each returns an :class:`~repro.experiments.runner.ExperimentResult` whose
+rows correspond to the points of the paper's plot (or the rows of its
+table); call ``result.to_table()`` for a printable report or
+``result.save(dir)`` to persist the rows as JSON/CSV.
 """
 
 from .ablation_parameters import run_parameter_ablation
@@ -22,13 +27,28 @@ from .config import (
 from .density_sweep import run_density_sweep
 from .figure1 import FIGURE1_COLUMNS, run_figure1
 from .figure2 import FIGURE2_COLUMNS, run_figure2
-from .figure3 import FIGURE3_COLUMNS, run_figure3
+from .figure3 import FIGURE3_COLUMNS, Figure3Config, run_figure3
 from .figure4 import FIGURE4_COLUMNS, default_figure4_config, run_figure4
 from .figure5 import figure5_columns, run_figure5
 from .graph_models import run_graph_model_comparison
 from .leader_election_cost import run_leader_election_cost
-from .report import build_report, experiment_section, markdown_table, write_report
+from .report import (
+    build_report,
+    experiment_section,
+    markdown_table,
+    scenario_plot,
+    write_report,
+)
 from .runner import ExperimentResult, aggregate_records, make_protocol
+from .scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register,
+    resolve_config,
+    run_scenario,
+    scenario_names,
+)
 from .table1 import TABLE1_COLUMNS, run_table1
 
 __all__ = [
@@ -48,6 +68,7 @@ __all__ = [
     "FIGURE2_COLUMNS",
     "run_figure2",
     "FIGURE3_COLUMNS",
+    "Figure3Config",
     "run_figure3",
     "FIGURE4_COLUMNS",
     "default_figure4_config",
@@ -59,10 +80,18 @@ __all__ = [
     "build_report",
     "experiment_section",
     "markdown_table",
+    "scenario_plot",
     "write_report",
     "ExperimentResult",
     "aggregate_records",
     "make_protocol",
+    "ScenarioSpec",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "resolve_config",
+    "run_scenario",
+    "scenario_names",
     "TABLE1_COLUMNS",
     "run_table1",
 ]

@@ -6,18 +6,21 @@ varies the two most influential knobs of Algorithm 1 — the per-round
 random-walk probability factor and the length of the per-round broadcast
 sub-phase — and reports the resulting per-node message cost and running time,
 making the time/messages trade-off of the paper concrete.
+
+Declared as a scenario spec; ``run_parameter_ablation`` is a thin wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec
 from .config import ParameterAblationConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult, gossip_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_parameter_ablation", "ABLATION_COLUMNS"]
+__all__ = ["run_parameter_ablation", "ABLATION_COLUMNS", "PARAMETER_ABLATION"]
 
 ABLATION_COLUMNS = (
     "walk_probability_factor",
@@ -30,11 +33,9 @@ ABLATION_COLUMNS = (
 )
 
 
-def run_parameter_ablation(
-    config: Optional[ParameterAblationConfig] = None,
-) -> ExperimentResult:
-    """Sweep fast-gossiping's walk probability and broadcast length."""
-    config = config or ParameterAblationConfig.quick()
+def _configurations(
+    config: ParameterAblationConfig,
+) -> List[Tuple[Tuple[float, float], Dict]]:
     spec = GraphSpec(
         kind="erdos_renyi",
         n=config.size,
@@ -59,21 +60,22 @@ def run_parameter_ablation(
                     },
                 )
             )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-    )
+    return configurations
+
+
+def _prepare_records(records: List[Dict[str, Any]], config: ParameterAblationConfig) -> None:
+    """Unpack the composite configuration key into per-record columns."""
     for record in records:
         walk_factor, broadcast_factor = record["key"]
         record["walk_probability_factor"] = walk_factor
         record["broadcast_steps_factor"] = broadcast_factor
-    rows = aggregate_records(
-        records,
-        group_by=("walk_probability_factor", "broadcast_steps_factor"),
-        metrics=("messages_per_node", "rounds"),
-    )
+
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: ParameterAblationConfig,
+) -> None:
     for row in rows:
         row["completed"] = all(
             r["completed"]
@@ -81,19 +83,49 @@ def run_parameter_ablation(
             if r["walk_probability_factor"] == row["walk_probability_factor"]
             and r["broadcast_steps_factor"] == row["broadcast_steps_factor"]
         )
-    return ExperimentResult(
-        name="ablation_parameters",
+
+
+PARAMETER_ABLATION = register(
+    ScenarioSpec(
+        name="parameters",
+        result_name="ablation_parameters",
         description=(
             "Fast-gossiping parameter ablation: per-node message cost vs "
             "random-walk probability factor and broadcast sub-phase length"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=gossip_task,
+        grid=_configurations,
+        default_config=ParameterAblationConfig.quick,
+        cli_config=lambda seed: ParameterAblationConfig(
+            size=512, repetitions=2, seed=20150530 if seed is None else seed
+        ),
+        smoke_config=lambda seed: ParameterAblationConfig(
+            size=128,
+            walk_probability_factors=(0.5, 2.0),
+            broadcast_steps_factors=(0.5,),
+            repetitions=1,
+            seed=20150530 if seed is None else seed,
+        ),
+        group_by=("walk_probability_factor", "broadcast_steps_factor"),
+        metrics=("messages_per_node", "rounds"),
+        prepare_records=_prepare_records,
+        finalize=_finalize,
+        metadata=lambda config: {
             "size": config.size,
             "repetitions": config.repetitions,
             "seed": config.seed,
             "walk_probability_factors": list(config.walk_probability_factors),
             "broadcast_steps_factors": list(config.broadcast_steps_factors),
         },
+        columns=ABLATION_COLUMNS,
+        render=None,
+        legacy_entry="run_parameter_ablation",
     )
+)
+
+
+def run_parameter_ablation(
+    config: Optional[ParameterAblationConfig] = None,
+) -> ExperimentResult:
+    """Sweep fast-gossiping's walk probability and broadcast length."""
+    return run_scenario(PARAMETER_ABLATION, config=config or ParameterAblationConfig.quick())

@@ -9,6 +9,8 @@ robustness experiment of Figure 2: replaying all contacts costs slightly more
 packets but loses far fewer messages when nodes crash; the strict tree loses
 messages at ratios much closer to the magnitudes the paper reports for its
 large graphs.
+
+Declared as a scenario spec; ``run_redundancy_ablation`` is a thin wrapper.
 """
 
 from __future__ import annotations
@@ -23,9 +25,15 @@ from ..engine.metrics import MessageAccounting
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec, make_graph
 from .config import RobustnessConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_redundancy_ablation", "redundancy_task", "REDUNDANCY_COLUMNS"]
+__all__ = [
+    "run_redundancy_ablation",
+    "redundancy_task",
+    "REDUNDANCY_COLUMNS",
+    "REDUNDANCY_ABLATION",
+]
 
 REDUNDANCY_COLUMNS = (
     "gather_contacts",
@@ -73,11 +81,7 @@ def redundancy_task(task: SweepTask) -> Dict[str, Any]:
     }
 
 
-def run_redundancy_ablation(
-    config: Optional[RobustnessConfig] = None,
-) -> ExperimentResult:
-    """Compare the 'all contacts' and 'first contact' gather structures."""
-    config = config or RobustnessConfig.quick()
+def _configurations(config: RobustnessConfig) -> List[Tuple[Tuple[str, int], Dict]]:
     spec = GraphSpec(
         kind="erdos_renyi",
         n=config.size,
@@ -101,18 +105,14 @@ def run_redundancy_ablation(
                     },
                 )
             )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-        task=redundancy_task,
-    )
-    rows = aggregate_records(
-        records,
-        group_by=("gather_contacts", "failed"),
-        metrics=("additional_lost", "loss_ratio", "messages_per_node"),
-    )
+    return configurations
+
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: RobustnessConfig,
+) -> Dict[str, Any]:
     for row in rows:
         row["failed_fraction"] = row["failed"] / config.size
 
@@ -123,20 +123,48 @@ def run_redundancy_ablation(
         for row in rows
         if row["failed"] == largest
     }
-    return ExperimentResult(
-        name="ablation_redundancy",
+    return {"loss_ratio_at_largest_f": ratios}
+
+
+REDUNDANCY_ABLATION = register(
+    ScenarioSpec(
+        name="redundancy",
+        result_name="ablation_redundancy",
         description=(
             "Gather-redundancy ablation: robustness (additional lost messages / F) "
             "when replaying all Phase I contacts vs only first-informing contacts"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=redundancy_task,
+        grid=_configurations,
+        default_config=RobustnessConfig.quick,
+        cli_config=lambda seed: RobustnessConfig(
+            size=1024,
+            failed_fractions=(0.0, 0.1, 0.3),
+            repetitions=2,
+            seed=20150532 if seed is None else seed,
+        ),
+        smoke_config=lambda seed: RobustnessConfig(
+            size=128, failed_fractions=(0.0, 0.3), repetitions=1, seed=20150532 if seed is None else seed
+        ),
+        group_by=("gather_contacts", "failed"),
+        metrics=("additional_lost", "loss_ratio", "messages_per_node"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "size": config.size,
             "num_trees": config.num_trees,
             "failed_fractions": list(config.failed_fractions),
             "repetitions": config.repetitions,
             "seed": config.seed,
-            "loss_ratio_at_largest_f": ratios,
         },
+        columns=REDUNDANCY_COLUMNS,
+        render={"x": "failed", "y": "loss_ratio", "group_by": "gather_contacts", "log_x": False},
+        legacy_entry="run_redundancy_ablation",
     )
+)
+
+
+def run_redundancy_ablation(
+    config: Optional[RobustnessConfig] = None,
+) -> ExperimentResult:
+    """Compare the 'all contacts' and 'first contact' gather structures."""
+    return run_scenario(REDUNDANCY_ABLATION, config=config or RobustnessConfig.quick())

@@ -10,6 +10,8 @@ ablation makes the contrast measurable:
   ``G(n, log²n/n)`` — per-node packets grow noticeably faster on the sparse
   graph (``Theta(log n)`` envelope vs ``Theta(log log n)``), while
 * the memory-model gossiping cost stays flat on both topologies.
+
+Declared as a scenario spec; ``run_broadcast_ablation`` is a thin wrapper.
 """
 
 from __future__ import annotations
@@ -22,9 +24,15 @@ from ..engine.metrics import MessageAccounting
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec, make_graph
 from .config import BroadcastAblationConfig
-from .runner import ExperimentResult, aggregate_records, make_protocol, run_gossip_sweep
+from .runner import ExperimentResult, make_protocol
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_broadcast_ablation", "broadcast_task", "BROADCAST_COLUMNS"]
+__all__ = [
+    "run_broadcast_ablation",
+    "broadcast_task",
+    "BROADCAST_COLUMNS",
+    "BROADCAST_ABLATION",
+]
 
 BROADCAST_COLUMNS = (
     "n",
@@ -70,11 +78,9 @@ def broadcast_task(task: SweepTask) -> Dict[str, Any]:
     }
 
 
-def run_broadcast_ablation(
-    config: Optional[BroadcastAblationConfig] = None,
-) -> ExperimentResult:
-    """Run the broadcast-vs-gossip density-separation ablation."""
-    config = config or BroadcastAblationConfig.quick()
+def _configurations(
+    config: BroadcastAblationConfig,
+) -> List[Tuple[Tuple[int, str, str], Dict]]:
     configurations: List[Tuple[Tuple[int, str, str], Dict]] = []
     for n in config.sizes:
         sparse = GraphSpec(
@@ -94,19 +100,14 @@ def run_broadcast_ablation(
                         {"graph_spec": spec.as_dict(), "topology": topology, "task": kind},
                     )
                 )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-        task=broadcast_task,
-    )
-    rows = aggregate_records(
-        records,
-        group_by=("n", "topology", "task"),
-        metrics=("messages_per_node", "rounds"),
-    )
+    return configurations
 
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: BroadcastAblationConfig,
+) -> Dict[str, Any]:
     # Separation summary: growth of the per-node broadcast cost from the
     # smallest to the largest n, per topology (sparse should grow faster).
     growth: Dict[str, float] = {}
@@ -118,19 +119,44 @@ def run_broadcast_ablation(
         )
         if len(series) >= 2 and series[0][1] > 0:
             growth[topology] = series[-1][1] / series[0][1]
-    return ExperimentResult(
-        name="broadcast_ablation",
+    return {"broadcast_cost_growth": growth}
+
+
+BROADCAST_ABLATION = register(
+    ScenarioSpec(
+        name="broadcast",
+        result_name="broadcast_ablation",
         description=(
             "Broadcast-vs-gossip ablation: per-node packets of age-quenched "
             "push-pull broadcasting and memory-model gossiping on sparse vs "
             "complete graphs"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=broadcast_task,
+        grid=_configurations,
+        default_config=BroadcastAblationConfig.quick,
+        cli_config=lambda seed: BroadcastAblationConfig(
+            sizes=(256, 512, 1024), repetitions=2, seed=20150529 if seed is None else seed
+        ),
+        smoke_config=lambda seed: BroadcastAblationConfig(
+            sizes=(96, 128), repetitions=1, seed=20150529 if seed is None else seed
+        ),
+        group_by=("n", "topology", "task"),
+        metrics=("messages_per_node", "rounds"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "repetitions": config.repetitions,
             "seed": config.seed,
-            "broadcast_cost_growth": growth,
         },
+        columns=BROADCAST_COLUMNS,
+        render={"x": "n", "y": "messages_per_node", "group_by": "task", "log_x": True},
+        legacy_entry="run_broadcast_ablation",
     )
+)
+
+
+def run_broadcast_ablation(
+    config: Optional[BroadcastAblationConfig] = None,
+) -> ExperimentResult:
+    """Run the broadcast-vs-gossip density-separation ablation."""
+    return run_scenario(BROADCAST_ABLATION, config=config or BroadcastAblationConfig.quick())

@@ -7,17 +7,20 @@ published evaluation fixes the density at ``log² n`` and sweeps ``n``; this
 extension fixes ``n`` and sweeps the density from ``log² n`` up to the
 complete graph, which exposes the claim directly: for each protocol the
 per-node message count should stay essentially flat across densities.
+
+Declared as a scenario spec; ``run_density_sweep`` is a thin wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..graphs.generators import GraphSpec
 from .config import DensitySweepConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult, gossip_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_density_sweep", "DENSITY_COLUMNS"]
+__all__ = ["run_density_sweep", "DENSITY_COLUMNS", "DENSITY_SWEEP"]
 
 DENSITY_COLUMNS = (
     "expected_degree",
@@ -63,20 +66,11 @@ def _configurations(config: DensitySweepConfig) -> List[Tuple[Tuple[str, str], D
     return configurations
 
 
-def run_density_sweep(config: Optional[DensitySweepConfig] = None) -> ExperimentResult:
-    """Run the density sweep: per-node message cost vs expected degree."""
-    config = config or DensitySweepConfig.quick()
-    records = run_gossip_sweep(
-        _configurations(config),
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-    )
-    rows = aggregate_records(
-        records,
-        group_by=("graph", "protocol"),
-        metrics=("messages_per_node", "rounds", "mean_degree"),
-    )
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: DensitySweepConfig,
+) -> Dict[str, Any]:
     for row in rows:
         row["expected_degree"] = row.pop("mean_degree")
 
@@ -87,18 +81,50 @@ def run_density_sweep(config: Optional[DensitySweepConfig] = None) -> Experiment
         values = [row["messages_per_node"] for row in rows if row["protocol"] == protocol]
         if values and min(values) > 0:
             flatness[protocol] = max(values) / min(values)
-    return ExperimentResult(
-        name="density_sweep",
+    return {"max_over_min_cost_ratio": flatness}
+
+
+DENSITY_SWEEP = register(
+    ScenarioSpec(
+        name="density",
+        result_name="density_sweep",
         description=(
             "Density sweep (extension): messages per node vs expected degree at "
-            f"fixed n={config.size}, from log^2 n up to the complete graph"
+            "fixed n, from log^2 n up to the complete graph"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=gossip_task,
+        grid=_configurations,
+        default_config=DensitySweepConfig.quick,
+        cli_config=lambda seed: DensitySweepConfig(
+            size=512, repetitions=2, seed=20150528 if seed is None else seed
+        ),
+        smoke_config=lambda seed: DensitySweepConfig(
+            size=128,
+            expected_degrees=(32.0, 64.0),
+            include_complete=True,
+            repetitions=1,
+            seed=20150528 if seed is None else seed,
+        ),
+        group_by=("graph", "protocol"),
+        metrics=("messages_per_node", "rounds", "mean_degree"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "size": config.size,
             "repetitions": config.repetitions,
             "seed": config.seed,
-            "max_over_min_cost_ratio": flatness,
         },
+        columns=DENSITY_COLUMNS,
+        render={
+            "x": "expected_degree",
+            "y": "messages_per_node",
+            "group_by": "protocol",
+            "log_x": True,
+        },
+        legacy_entry="run_density_sweep",
     )
+)
+
+
+def run_density_sweep(config: Optional[DensitySweepConfig] = None) -> ExperimentResult:
+    """Run the density sweep: per-node message cost vs expected degree."""
+    return run_scenario(DENSITY_SWEEP, config=config or DensitySweepConfig.quick())

@@ -10,11 +10,15 @@ findings:
 * fast-gossiping sits below push–pull and grows like ``log n / log log n``
   with an increasing gap,
 * the memory model stays bounded by a small constant (≈5 in the paper).
+
+The experiment is expressed as a :class:`~repro.experiments.scenarios
+.ScenarioSpec` (grid + task + aggregation + finalize hook); ``run_figure1``
+is a thin wrapper over the registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.bounds import (
     fast_gossiping_messages_per_node,
@@ -25,9 +29,10 @@ from ..analysis.bounds import (
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec
 from .config import SizeSweepConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult, gossip_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_figure1", "FIGURE1_COLUMNS"]
+__all__ = ["run_figure1", "FIGURE1_COLUMNS", "FIGURE1"]
 
 #: Columns of the aggregated Figure 1 rows (used by reports and benches).
 FIGURE1_COLUMNS = (
@@ -69,28 +74,18 @@ def _configurations(config: SizeSweepConfig) -> List[Tuple[Tuple[int, str], Dict
     return configurations
 
 
-def run_figure1(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
-    """Reproduce Figure 1 (messages per node vs graph size, three protocols)."""
-    config = config or SizeSweepConfig.quick()
-    records = run_gossip_sweep(
-        _configurations(config),
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-    )
-    rows = aggregate_records(
-        records,
-        group_by=("n", "protocol"),
-        metrics=("messages_per_node", "rounds", "opens_per_node", "strict_cost_per_node"),
-    )
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: SizeSweepConfig,
+) -> Dict[str, Any]:
+    """Add per-row completion flags and fit the asymptotic shapes."""
     for row in rows:
         row["completed"] = all(
             r["completed"]
             for r in records
             if r["n"] == row["n"] and r["protocol"] == row["protocol"]
         )
-
-    # Fit the asymptotic shapes per protocol (reported in EXPERIMENTS.md).
     fits: Dict[str, float] = {}
     shapes = {
         "push-pull": push_pull_gossip_messages_per_node,
@@ -102,20 +97,42 @@ def run_figure1(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
         if series:
             sizes, values = zip(*series)
             fits[protocol] = fit_constant(sizes, values, bound)
+    return {"bound_fit_constants": fits}
 
-    return ExperimentResult(
+
+FIGURE1 = register(
+    ScenarioSpec(
         name="figure1",
+        result_name="figure1",
         description=(
             "Figure 1: average messages sent per node vs graph size on "
             "G(n, log^2 n / n) for push-pull, fast-gossiping and the memory model"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=gossip_task,
+        grid=_configurations,
+        default_config=SizeSweepConfig.quick,
+        cli_config=lambda seed: SizeSweepConfig(
+            sizes=(256, 512, 1024, 2048), repetitions=2, seed=20150525 if seed is None else seed
+        ),
+        smoke_config=lambda seed: SizeSweepConfig(
+            sizes=(96, 128), repetitions=1, seed=20150525 if seed is None else seed
+        ),
+        group_by=("n", "protocol"),
+        metrics=("messages_per_node", "rounds", "opens_per_node", "strict_cost_per_node"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "repetitions": config.repetitions,
             "seed": config.seed,
             "density_exponent": config.density_exponent,
-            "bound_fit_constants": fits,
         },
+        columns=FIGURE1_COLUMNS,
+        render={"x": "n", "y": "messages_per_node", "group_by": "protocol", "log_x": True},
+        legacy_entry="run_figure1",
     )
+)
+
+
+def run_figure1(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
+    """Reproduce Figure 1 (messages per node vs graph size, three protocols)."""
+    return run_scenario(FIGURE1, config=config or SizeSweepConfig.quick())

@@ -9,19 +9,21 @@ essentially zero for small ``F`` and grows once a substantial fraction of the
 network fails.
 
 The reproduction uses a smaller graph; failure counts are expressed as
-fractions of ``n`` so the x-axis is comparable across scales.
+fractions of ``n`` so the x-axis is comparable across scales.  Declared as a
+scenario spec; ``run_figure2`` is a thin wrapper over the registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec
 from .config import RobustnessConfig
-from .runner import ExperimentResult, aggregate_records, robustness_task, run_gossip_sweep
+from .runner import ExperimentResult, robustness_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_figure2", "FIGURE2_COLUMNS", "robustness_configurations"]
+__all__ = ["run_figure2", "FIGURE2_COLUMNS", "FIGURE2", "robustness_configurations"]
 
 FIGURE2_COLUMNS = (
     "n",
@@ -62,36 +64,49 @@ def robustness_configurations(
     return configurations
 
 
-def run_figure2(config: Optional[RobustnessConfig] = None) -> ExperimentResult:
-    """Reproduce Figure 2 (additional lost messages / F vs F, memory model)."""
-    config = config or RobustnessConfig.quick()
-    records = run_gossip_sweep(
-        robustness_configurations(config),
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-        task=robustness_task,
-    )
-    rows = aggregate_records(
-        records,
-        group_by=("n", "failed"),
-        metrics=("additional_lost", "loss_ratio", "messages_per_node"),
-    )
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: RobustnessConfig,
+) -> None:
     for row in rows:
         row["failed_fraction"] = row["failed"] / row["n"]
-    return ExperimentResult(
+
+
+FIGURE2 = register(
+    ScenarioSpec(
         name="figure2",
+        result_name="figure2",
         description=(
             "Figure 2: ratio of additional lost healthy messages to the number "
             "of failed nodes F (memory model, 3 trees, failures before Phase II)"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=robustness_task,
+        grid=robustness_configurations,
+        default_config=RobustnessConfig.quick,
+        cli_config=lambda seed: RobustnessConfig(
+            size=1024, repetitions=2, seed=20150526 if seed is None else seed
+        ),
+        smoke_config=lambda seed: RobustnessConfig(
+            size=128, failed_fractions=(0.0, 0.25), repetitions=1, seed=20150526 if seed is None else seed
+        ),
+        group_by=("n", "failed"),
+        metrics=("additional_lost", "loss_ratio", "messages_per_node"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "size": config.size,
             "num_trees": config.num_trees,
             "failed_fractions": list(config.failed_fractions),
             "repetitions": config.repetitions,
             "seed": config.seed,
         },
+        columns=FIGURE2_COLUMNS,
+        render={"x": "failed", "y": "loss_ratio", "group_by": None, "log_x": False},
+        legacy_entry="run_figure2",
     )
+)
+
+
+def run_figure2(config: Optional[RobustnessConfig] = None) -> ExperimentResult:
+    """Reproduce Figure 2 (additional lost messages / F vs F, memory model)."""
+    return run_scenario(FIGURE2, config=config or RobustnessConfig.quick())

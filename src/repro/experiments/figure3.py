@@ -4,18 +4,32 @@ Figure 3 of the paper repeats the Figure 2 robustness study on graphs of
 100,000 and 500,000 nodes, confirming that the loss-ratio curve has the same
 shape across scales.  The reproduction runs the identical sweep on two
 (smaller) sizes and reports the same ratio series per size.
+
+The scenario expresses the multi-size study as a single grid whose keys are
+``(n, failed)`` — seeds derive from a stable hash of the key, so every
+(size, failure-count) cell keeps its trajectory no matter which other sizes
+are in the grid.  ``run_figure3`` is a thin wrapper over the registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..graphs.erdos_renyi import paper_edge_probability
+from ..graphs.generators import GraphSpec
 from .config import RobustnessConfig
-from .figure2 import FIGURE2_COLUMNS, robustness_configurations
-from .runner import ExperimentResult, aggregate_records, robustness_task, run_gossip_sweep
+from .figure2 import FIGURE2_COLUMNS
+from .runner import ExperimentResult, robustness_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_figure3", "FIGURE3_COLUMNS", "default_figure3_sizes"]
+__all__ = [
+    "run_figure3",
+    "FIGURE3_COLUMNS",
+    "FIGURE3",
+    "Figure3Config",
+    "default_figure3_sizes",
+]
 
 FIGURE3_COLUMNS = FIGURE2_COLUMNS
 
@@ -25,6 +39,86 @@ def default_figure3_sizes() -> Tuple[int, int]:
     return (1024, 2048)
 
 
+@dataclass(frozen=True)
+class Figure3Config(RobustnessConfig):
+    """Robustness config with an explicit size list (one sweep, many sizes)."""
+
+    sizes: Tuple[int, ...] = (1024, 2048)
+
+
+def _configurations(config: Figure3Config) -> List[Tuple[Tuple[int, int], Dict]]:
+    configurations = []
+    for size in config.sizes:
+        spec = GraphSpec(
+            kind="erdos_renyi",
+            n=int(size),
+            params={
+                "p": paper_edge_probability(int(size), config.density_exponent),
+                "require_connected": True,
+            },
+        )
+        for fraction in config.failed_fractions:
+            failed = int(round(size * fraction))
+            configurations.append(
+                (
+                    (int(size), failed),
+                    {
+                        "graph_spec": spec.as_dict(),
+                        "failed": failed,
+                        "num_trees": config.num_trees,
+                        "leader": 0,
+                    },
+                )
+            )
+    return configurations
+
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: Figure3Config,
+) -> None:
+    for row in rows:
+        row["failed_fraction"] = row["failed"] / row["n"]
+
+
+FIGURE3 = register(
+    ScenarioSpec(
+        name="figure3",
+        result_name="figure3",
+        description=(
+            "Figure 3: robustness ratio (additional lost messages / F) vs F at "
+            "two graph sizes"
+        ),
+        task=robustness_task,
+        grid=_configurations,
+        default_config=Figure3Config,
+        cli_config=lambda seed: Figure3Config(
+            sizes=(512, 1024), repetitions=2, seed=20150526 if seed is None else seed
+        ),
+        smoke_config=lambda seed: Figure3Config(
+            sizes=(96, 128),
+            failed_fractions=(0.1, 0.4),
+            repetitions=1,
+            seed=20150526 if seed is None else seed,
+        ),
+        group_by=("n", "failed"),
+        metrics=("additional_lost", "loss_ratio"),
+        finalize=_finalize,
+        metadata=lambda config: {
+            "sizes": list(config.sizes),
+            "num_trees": config.num_trees,
+            "failed_fractions": list(config.failed_fractions),
+            "repetitions": config.repetitions,
+            "seed": config.seed,
+        },
+        columns=FIGURE3_COLUMNS,
+        render={"x": "failed", "y": "loss_ratio", "group_by": "n", "log_x": False},
+        legacy_entry="run_figure3",
+    )
+)
+
+
 def run_figure3(
     config: Optional[RobustnessConfig] = None,
     *,
@@ -32,42 +126,18 @@ def run_figure3(
 ) -> ExperimentResult:
     """Reproduce Figure 3 (robustness ratio vs F at two graph sizes)."""
     base = config or RobustnessConfig.quick()
-    sizes = tuple(sizes) if sizes is not None else default_figure3_sizes()
-    all_records: List[dict] = []
-    for index, size in enumerate(sizes):
-        per_size = replace(
-            base,
-            size=int(size),
-            seed=None if base.seed is None else base.seed + index,
+    explicit = tuple(int(s) for s in sizes) if sizes is not None else None
+    if isinstance(base, Figure3Config):
+        resolved = replace(base, sizes=explicit) if explicit is not None else base
+    else:
+        resolved = Figure3Config(
+            size=base.size,
+            failed_fractions=base.failed_fractions,
+            num_trees=base.num_trees,
+            repetitions=base.repetitions,
+            seed=base.seed,
+            density_exponent=base.density_exponent,
+            n_jobs=base.n_jobs,
+            sizes=explicit if explicit is not None else default_figure3_sizes(),
         )
-        records = run_gossip_sweep(
-            robustness_configurations(per_size),
-            repetitions=per_size.repetitions,
-            seed=per_size.seed,
-            n_jobs=per_size.n_jobs,
-            task=robustness_task,
-        )
-        all_records.extend(records)
-    rows = aggregate_records(
-        all_records,
-        group_by=("n", "failed"),
-        metrics=("additional_lost", "loss_ratio"),
-    )
-    for row in rows:
-        row["failed_fraction"] = row["failed"] / row["n"]
-    return ExperimentResult(
-        name="figure3",
-        description=(
-            "Figure 3: robustness ratio (additional lost messages / F) vs F at "
-            "two graph sizes"
-        ),
-        rows=rows,
-        raw_records=all_records,
-        metadata={
-            "sizes": list(sizes),
-            "num_trees": base.num_trees,
-            "failed_fractions": list(base.failed_fractions),
-            "repetitions": base.repetitions,
-            "seed": base.seed,
-        },
-    )
+    return run_scenario(FIGURE3, config=resolved)

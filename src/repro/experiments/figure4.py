@@ -7,19 +7,23 @@ per node decrease slightly because the per-round random-walk probability
 ``1 / log n`` shrinks while the phase lengths stay constant.  We reproduce the
 series on a finer (but smaller) grid and report, for every consecutive pair of
 sizes with identical resolved schedules, whether the cost indeed decreased.
+
+Declared as a scenario spec; ``run_figure4`` is a thin wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.parameters import tuned_fast_gossiping
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec
 from .config import SizeSweepConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult, gossip_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_figure4", "FIGURE4_COLUMNS", "default_figure4_config"]
+__all__ = ["run_figure4", "FIGURE4_COLUMNS", "FIGURE4", "default_figure4_config"]
 
 FIGURE4_COLUMNS = (
     "n",
@@ -41,9 +45,7 @@ def default_figure4_config() -> SizeSweepConfig:
     )
 
 
-def run_figure4(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
-    """Reproduce Figure 4 (fast-gossiping messages per node, fine size grid)."""
-    config = config or default_figure4_config()
+def _configurations(config: SizeSweepConfig) -> List[Tuple[Tuple[int, str], Dict]]:
     configurations = []
     for n in config.sizes:
         spec = GraphSpec(
@@ -60,15 +62,15 @@ def run_figure4(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
                 {"graph_spec": spec.as_dict(), "protocol": "fast-gossiping"},
             )
         )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-    )
-    rows = aggregate_records(
-        records, group_by=("n",), metrics=("messages_per_node", "rounds")
-    )
+    return configurations
+
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: SizeSweepConfig,
+) -> Dict[str, Any]:
+    """Annotate rows with the resolved schedule and collect plateau deltas."""
     params = tuned_fast_gossiping()
     for row in rows:
         schedule = params.resolve(int(row["n"]))
@@ -91,19 +93,46 @@ def run_figure4(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
                     - first["messages_per_node"],
                 }
             )
+    return {"within_plateau_deltas": decreases}
 
-    return ExperimentResult(
+
+FIGURE4 = register(
+    ScenarioSpec(
         name="figure4",
+        result_name="figure4",
         description=(
             "Figure 4: fast-gossiping messages per node on a fine size grid, "
             "showing schedule plateaus and the within-plateau decrease"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=gossip_task,
+        grid=_configurations,
+        default_config=default_figure4_config,
+        cli_config=lambda seed: (
+            default_figure4_config()
+            if seed is None
+            else replace(default_figure4_config(), seed=seed)
+        ),
+        smoke_config=lambda seed: SizeSweepConfig(
+            sizes=(96, 128, 192),
+            repetitions=1,
+            protocols=("fast-gossiping",),
+            seed=20150525 if seed is None else seed,
+        ),
+        group_by=("n",),
+        metrics=("messages_per_node", "rounds"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "repetitions": config.repetitions,
             "seed": config.seed,
-            "within_plateau_deltas": decreases,
         },
+        columns=FIGURE4_COLUMNS,
+        render={"x": "n", "y": "messages_per_node", "group_by": None, "log_x": True},
+        legacy_entry="run_figure4",
     )
+)
+
+
+def run_figure4(config: Optional[SizeSweepConfig] = None) -> ExperimentResult:
+    """Reproduce Figure 4 (fast-gossiping messages per node, fine size grid)."""
+    return run_scenario(FIGURE4, config=config or default_figure4_config())

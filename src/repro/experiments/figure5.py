@@ -7,7 +7,9 @@ qualitative statement: even for thousands of failed nodes almost no run loses
 more than a handful of additional messages.
 
 The reproduction runs repeated robustness simulations per (size, failure
-count) and reports one exceedance-fraction column per threshold.
+count) and reports one exceedance-fraction column per threshold.  The custom
+exceedance aggregation is declared on the scenario spec; ``run_figure5`` is a
+thin wrapper.
 """
 
 from __future__ import annotations
@@ -17,9 +19,10 @@ from typing import Dict, List, Optional, Tuple
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec
 from .config import RobustnessDetailConfig
-from .runner import ExperimentResult, robustness_task, run_gossip_sweep
+from .runner import ExperimentResult, robustness_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_figure5", "figure5_columns"]
+__all__ = ["run_figure5", "figure5_columns", "FIGURE5"]
 
 
 def figure5_columns(thresholds) -> Tuple[str, ...]:
@@ -29,9 +32,7 @@ def figure5_columns(thresholds) -> Tuple[str, ...]:
     )
 
 
-def run_figure5(config: Optional[RobustnessDetailConfig] = None) -> ExperimentResult:
-    """Reproduce Figure 5 (fraction of runs losing more than T extra messages)."""
-    config = config or RobustnessDetailConfig.quick()
+def _configurations(config: RobustnessDetailConfig) -> List[Tuple[Tuple[int, int], Dict]]:
     configurations = []
     for n in config.sizes:
         spec = GraphSpec(
@@ -55,15 +56,13 @@ def run_figure5(config: Optional[RobustnessDetailConfig] = None) -> ExperimentRe
                     },
                 )
             )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-        task=robustness_task,
-    )
+    return configurations
 
-    # Aggregate into exceedance fractions per (n, failed).
+
+def _aggregate(
+    records: List[dict], config: RobustnessDetailConfig
+) -> List[Dict[str, object]]:
+    """Aggregate per-run losses into exceedance fractions per (n, failed)."""
     grouped: Dict[Tuple[int, int], List[dict]] = {}
     order: List[Tuple[int, int]] = []
     for record in records:
@@ -85,16 +84,32 @@ def run_figure5(config: Optional[RobustnessDetailConfig] = None) -> ExperimentRe
             exceed = sum(1 for m in members if m["additional_lost"] > threshold)
             row[f"exceed_T{threshold}"] = exceed / len(members)
         rows.append(row)
+    return rows
 
-    return ExperimentResult(
+
+FIGURE5 = register(
+    ScenarioSpec(
         name="figure5",
+        result_name="figure5",
         description=(
             "Figure 5: fraction of robustness runs in which more than T "
             "additional healthy messages were lost (T per column)"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=robustness_task,
+        grid=_configurations,
+        default_config=RobustnessDetailConfig.quick,
+        cli_config=lambda seed: RobustnessDetailConfig(
+            sizes=(512, 1024), repetitions=3, seed=20150527 if seed is None else seed
+        ),
+        smoke_config=lambda seed: RobustnessDetailConfig(
+            sizes=(128,),
+            thresholds=(0, 10),
+            failed_fractions=(0.1, 0.5),
+            repetitions=2,
+            seed=20150527 if seed is None else seed,
+        ),
+        aggregate=_aggregate,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "thresholds": list(config.thresholds),
             "failed_fractions": list(config.failed_fractions),
@@ -102,4 +117,12 @@ def run_figure5(config: Optional[RobustnessDetailConfig] = None) -> ExperimentRe
             "repetitions": config.repetitions,
             "seed": config.seed,
         },
+        render={"x": "failed", "y": "exceed_T0", "group_by": "n", "log_x": False},
+        legacy_entry="run_figure5",
     )
+)
+
+
+def run_figure5(config: Optional[RobustnessDetailConfig] = None) -> ExperimentResult:
+    """Reproduce Figure 5 (fraction of runs losing more than T extra messages)."""
+    return run_scenario(FIGURE5, config=config or RobustnessDetailConfig.quick())

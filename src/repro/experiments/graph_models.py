@@ -7,18 +7,21 @@ the claim empirical: it runs every gossiping protocol on an Erdős–Rényi grap
 and on a random-regular (configuration-model) graph of the *same* expected
 degree and size, and compares the per-node message cost — the two families
 should be indistinguishable for every protocol.
+
+Declared as a scenario spec; ``run_graph_model_comparison`` is a thin wrapper.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..graphs.generators import GraphSpec
 from .config import SizeSweepConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult, gossip_task
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_graph_model_comparison", "GRAPH_MODEL_COLUMNS"]
+__all__ = ["run_graph_model_comparison", "GRAPH_MODEL_COLUMNS", "GRAPH_MODELS"]
 
 GRAPH_MODEL_COLUMNS = (
     "n",
@@ -29,6 +32,10 @@ GRAPH_MODEL_COLUMNS = (
     "rounds",
     "repetitions",
 )
+
+
+def _default_config() -> SizeSweepConfig:
+    return SizeSweepConfig(sizes=(512, 1024), repetitions=3)
 
 
 def _configurations(config: SizeSweepConfig) -> List[Tuple[Tuple[int, str, str], Dict]]:
@@ -63,25 +70,16 @@ def _configurations(config: SizeSweepConfig) -> List[Tuple[Tuple[int, str, str],
     return configurations
 
 
-def run_graph_model_comparison(
-    config: Optional[SizeSweepConfig] = None,
-) -> ExperimentResult:
-    """Compare gossiping costs on Erdős–Rényi vs configuration-model graphs."""
-    config = config or SizeSweepConfig(sizes=(512, 1024), repetitions=3)
-    records = run_gossip_sweep(
-        _configurations(config),
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-    )
+def _prepare_records(records: List[Dict[str, Any]], config: SizeSweepConfig) -> None:
     for record in records:
         record["model"] = record["key"][1]
-    rows = aggregate_records(
-        records,
-        group_by=("n", "model", "protocol"),
-        metrics=("messages_per_node", "rounds"),
-    )
 
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: SizeSweepConfig,
+) -> Dict[str, Any]:
     # Per (n, protocol): relative gap between the two graph models.
     gaps: List[Dict[str, object]] = []
     for n in config.sizes:
@@ -100,19 +98,45 @@ def run_graph_model_comparison(
                         / min(costs.values()),
                     }
                 )
-    return ExperimentResult(
-        name="graph_models",
+    return {"relative_gaps": gaps}
+
+
+GRAPH_MODELS = register(
+    ScenarioSpec(
+        name="graph-models",
+        result_name="graph_models",
         description=(
             "Graph-model comparison (extension): per-node gossiping cost on "
             "Erdős–Rényi vs configuration-model (random-regular) graphs of the "
             "same expected degree"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=gossip_task,
+        grid=_configurations,
+        default_config=_default_config,
+        cli_config=lambda seed: SizeSweepConfig(
+            sizes=(256, 512), repetitions=2, seed=20150533 if seed is None else seed
+        ),
+        smoke_config=lambda seed: SizeSweepConfig(
+            sizes=(128,), repetitions=1, seed=20150533 if seed is None else seed
+        ),
+        group_by=("n", "model", "protocol"),
+        metrics=("messages_per_node", "rounds"),
+        prepare_records=_prepare_records,
+        finalize=_finalize,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "repetitions": config.repetitions,
             "seed": config.seed,
-            "relative_gaps": gaps,
         },
+        columns=GRAPH_MODEL_COLUMNS,
+        render={"x": "n", "y": "messages_per_node", "group_by": "model", "log_x": True},
+        legacy_entry="run_graph_model_comparison",
     )
+)
+
+
+def run_graph_model_comparison(
+    config: Optional[SizeSweepConfig] = None,
+) -> ExperimentResult:
+    """Compare gossiping costs on Erdős–Rényi vs configuration-model graphs."""
+    return run_scenario(GRAPH_MODELS, config=config or _default_config())

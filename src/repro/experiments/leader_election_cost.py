@@ -7,6 +7,8 @@ for both variants implemented here — the literal pseudocode (active nodes push
 every step, ``Theta(log n)`` per node) and the budgeted variant in which nodes
 go quiet a few steps after activation (``Theta(log log n)`` per node) — and
 verifies that the elected leader is unique.
+
+Declared as a scenario spec; ``run_leader_election_cost`` is a thin wrapper.
 """
 
 from __future__ import annotations
@@ -21,9 +23,15 @@ from ..core.parameters import LeaderElectionParameters, loglog2
 from ..graphs.erdos_renyi import paper_edge_probability
 from ..graphs.generators import GraphSpec, make_graph
 from .config import LeaderElectionConfig
-from .runner import ExperimentResult, aggregate_records, run_gossip_sweep
+from .runner import ExperimentResult
+from .scenarios import ScenarioSpec, register, run_scenario
 
-__all__ = ["run_leader_election_cost", "election_task", "ELECTION_COLUMNS"]
+__all__ = [
+    "run_leader_election_cost",
+    "election_task",
+    "ELECTION_COLUMNS",
+    "LEADER_ELECTION_COST",
+]
 
 ELECTION_COLUMNS = (
     "n",
@@ -62,11 +70,7 @@ def election_task(task: SweepTask) -> Dict[str, Any]:
     }
 
 
-def run_leader_election_cost(
-    config: Optional[LeaderElectionConfig] = None,
-) -> ExperimentResult:
-    """Measure leader-election cost per node vs n for both variants."""
-    config = config or LeaderElectionConfig.quick()
+def _configurations(config: LeaderElectionConfig) -> List[Tuple[Tuple[int, str], Dict]]:
     configurations: List[Tuple[Tuple[int, str], Dict]] = []
     for n in config.sizes:
         spec = GraphSpec(
@@ -81,32 +85,55 @@ def run_leader_election_cost(
             configurations.append(
                 ((n, variant), {"graph_spec": spec.as_dict(), "variant": variant})
             )
-    records = run_gossip_sweep(
-        configurations,
-        repetitions=config.repetitions,
-        seed=config.seed,
-        n_jobs=config.n_jobs,
-        task=election_task,
-    )
-    rows = aggregate_records(
-        records, group_by=("n", "variant"), metrics=("messages_per_node", "rounds")
-    )
+    return configurations
+
+
+def _finalize(
+    rows: List[Dict[str, Any]],
+    records: List[Dict[str, Any]],
+    config: LeaderElectionConfig,
+) -> None:
     for row in rows:
         members = [
             r for r in records if r["n"] == row["n"] and r["variant"] == row["variant"]
         ]
         row["unique_fraction"] = sum(1 for m in members if m["unique"]) / len(members)
-    return ExperimentResult(
-        name="leader_election_cost",
+
+
+LEADER_ELECTION_COST = register(
+    ScenarioSpec(
+        name="election",
+        result_name="leader_election_cost",
         description=(
             "Leader election (Algorithm 3): per-node packet cost and uniqueness "
             "vs n, pseudocode vs budgeted-push variant"
         ),
-        rows=rows,
-        raw_records=records,
-        metadata={
+        task=election_task,
+        grid=_configurations,
+        default_config=LeaderElectionConfig.quick,
+        cli_config=lambda seed: LeaderElectionConfig(
+            sizes=(256, 512, 1024), repetitions=2, seed=20150531 if seed is None else seed
+        ),
+        smoke_config=lambda seed: LeaderElectionConfig(
+            sizes=(128,), repetitions=1, seed=20150531 if seed is None else seed
+        ),
+        group_by=("n", "variant"),
+        metrics=("messages_per_node", "rounds"),
+        finalize=_finalize,
+        metadata=lambda config: {
             "sizes": list(config.sizes),
             "repetitions": config.repetitions,
             "seed": config.seed,
         },
+        columns=ELECTION_COLUMNS,
+        render={"x": "n", "y": "messages_per_node", "group_by": "variant", "log_x": True},
+        legacy_entry="run_leader_election_cost",
     )
+)
+
+
+def run_leader_election_cost(
+    config: Optional[LeaderElectionConfig] = None,
+) -> ExperimentResult:
+    """Measure leader-election cost per node vs n for both variants."""
+    return run_scenario(LEADER_ELECTION_COST, config=config or LeaderElectionConfig.quick())

@@ -12,11 +12,54 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from ..analysis.ascii_plot import plot_experiment_rows
 from ..io.results import save_json, to_jsonable
 from ..io.tables import format_value
 from .runner import ExperimentResult
 
-__all__ = ["markdown_table", "experiment_section", "build_report", "write_report"]
+__all__ = [
+    "markdown_table",
+    "experiment_section",
+    "scenario_plot",
+    "scenario_columns",
+    "build_report",
+    "write_report",
+]
+
+
+def _spec_for(result: ExperimentResult):
+    """Look up the scenario spec that produced ``result`` (or ``None``)."""
+    from .scenarios import all_scenarios
+
+    for spec in all_scenarios():
+        if spec.result_name == result.name:
+            return spec
+    return None
+
+
+def scenario_columns(result: ExperimentResult) -> Optional[Sequence[str]]:
+    """Preferred column order declared on the result's scenario spec."""
+    spec = _spec_for(result)
+    return list(spec.columns) if spec is not None and spec.columns else None
+
+
+def scenario_plot(result: ExperimentResult) -> Optional[str]:
+    """Render the ASCII plot declared by the result's scenario spec."""
+    spec = _spec_for(result)
+    if spec is None or not spec.render or not result.rows:
+        return None
+    hints = dict(spec.render)
+    try:
+        return plot_experiment_rows(
+            result.rows,
+            x=hints["x"],
+            y=hints["y"],
+            group_by=hints.get("group_by"),
+            log_x=bool(hints.get("log_x", False)),
+            title=result.description,
+        )
+    except (KeyError, ValueError, TypeError):
+        return None
 
 
 def markdown_table(
@@ -79,6 +122,7 @@ def build_report(
     preamble: str = "",
     columns: Optional[Mapping[str, Sequence[str]]] = None,
     plots: Optional[Mapping[str, str]] = None,
+    auto_plots: bool = False,
 ) -> str:
     """Assemble the full Markdown report from experiment results.
 
@@ -89,21 +133,25 @@ def build_report(
     title / preamble:
         Document heading and optional introduction paragraph.
     columns:
-        Optional per-experiment column selections, keyed by experiment name.
+        Optional per-experiment column selections, keyed by experiment name;
+        defaults to the column order declared on the scenario spec.
     plots:
         Optional per-experiment pre-rendered ASCII plots, keyed by name.
+    auto_plots:
+        Render each experiment's ASCII plot from its scenario spec's render
+        hints when no explicit plot is supplied.
     """
     lines: List[str] = [f"# {title}", ""]
     if preamble:
         lines.extend([preamble, ""])
     for result in results:
-        lines.append(
-            experiment_section(
-                result,
-                columns=(columns or {}).get(result.name),
-                plot=(plots or {}).get(result.name),
-            )
-        )
+        plot = (plots or {}).get(result.name)
+        if plot is None and auto_plots:
+            plot = scenario_plot(result)
+        selected = (columns or {}).get(result.name)
+        if selected is None:
+            selected = scenario_columns(result)
+        lines.append(experiment_section(result, columns=selected, plot=plot))
     return "\n".join(lines)
 
 

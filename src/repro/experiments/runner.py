@@ -1,13 +1,17 @@
 """Shared machinery of the experiment harness.
 
 Every experiment (one per paper table/figure plus the extensions) is expressed
-as a sweep over (configuration, repetition) pairs.  This module provides:
+as a sweep over (configuration, repetition) pairs, declared as a
+:class:`~repro.experiments.scenarios.ScenarioSpec` in its module and executed
+by :func:`~repro.experiments.scenarios.run_scenario`.  This module provides
+the spec-independent building blocks:
 
 * a protocol factory mapping protocol names to configured protocol objects,
-* the picklable task function executed for each pair (so sweeps can run on a
-  process pool), and
+* the picklable task functions executed for each pair (so sweeps can run on a
+  process pool),
+* :func:`aggregate_records`, the default group-and-average aggregation, and
 * :class:`ExperimentResult`, the uniform result container with helpers for
-  aggregation, rendering and persistence.
+  rendering and persistence.
 """
 
 from __future__ import annotations
@@ -248,6 +252,11 @@ def run_gossip_sweep(
     n_jobs: int = 1,
     task=gossip_task,
 ) -> List[Dict[str, Any]]:
-    """Expand configurations into tasks and execute them."""
+    """Expand configurations into tasks and execute them.
+
+    Legacy convenience shim over :func:`expand_grid` + :func:`run_sweep`;
+    scenarios go through :func:`repro.experiments.scenarios.run_scenario`,
+    which also supports progress reporting and the result store.
+    """
     tasks = expand_grid(configurations, repetitions, seed)
     return run_sweep(task, tasks, n_jobs=n_jobs)

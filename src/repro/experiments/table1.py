@@ -6,6 +6,10 @@ reproduction resolves exactly those formulas for a list of concrete sizes so
 the resulting schedules can be inspected and compared with the paper's
 formulas, and verifies the tuned presets round-trip through the parameter
 dataclasses.
+
+Table 1 is deterministic (no sweep, no randomness), so its scenario spec uses
+a ``run_override`` rather than the sweep engine; the "config" is simply the
+list of sizes.
 """
 
 from __future__ import annotations
@@ -14,8 +18,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.parameters import table1_rows, tuned_fast_gossiping, tuned_memory_gossiping
 from .runner import ExperimentResult
+from .scenarios import ScenarioSpec, register
 
-__all__ = ["run_table1", "TABLE1_COLUMNS"]
+__all__ = ["run_table1", "TABLE1_COLUMNS", "TABLE1"]
 
 TABLE1_COLUMNS = (
     "n",
@@ -72,3 +77,16 @@ def run_table1(sizes: Optional[Sequence[int]] = None) -> ExperimentResult:
             "memory_defaults": tuned_memory_gossiping().__dict__,
         },
     )
+
+
+TABLE1 = register(
+    ScenarioSpec(
+        name="table1",
+        result_name="table1",
+        description="Table 1: simulation constants of Algorithms 1 and 2 resolved per n",
+        smoke_config=lambda seed: [1024, 65536],
+        columns=TABLE1_COLUMNS,
+        run_override=run_table1,
+        legacy_entry="run_table1",
+    )
+)

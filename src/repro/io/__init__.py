@@ -1,14 +1,26 @@
-"""Result persistence (JSON/CSV) and plain-text table rendering."""
+"""Result persistence (JSON/CSV/JSONL store) and plain-text table rendering."""
 
-from .results import load_csv, load_json, save_csv, save_json, to_jsonable
+from .results import (
+    canonical_json,
+    load_csv,
+    load_json,
+    save_csv,
+    save_json,
+    to_jsonable,
+)
+from .store import ResultStore, StoreEntry, config_hash
 from .tables import format_records, format_table, format_value
 
 __all__ = [
+    "canonical_json",
     "load_csv",
     "load_json",
     "save_csv",
     "save_json",
     "to_jsonable",
+    "ResultStore",
+    "StoreEntry",
+    "config_hash",
     "format_records",
     "format_table",
     "format_value",

@@ -15,7 +15,14 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["to_jsonable", "save_json", "load_json", "save_csv", "load_csv"]
+__all__ = [
+    "to_jsonable",
+    "canonical_json",
+    "save_json",
+    "load_json",
+    "save_csv",
+    "load_csv",
+]
 
 
 def to_jsonable(value: Any) -> Any:
@@ -30,12 +37,30 @@ def to_jsonable(value: Any) -> Any:
         return [to_jsonable(v) for v in value.tolist()]
     if isinstance(value, Mapping):
         return {str(k): to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set)):
+    if isinstance(value, (set, frozenset)):
+        # Sets have no order; sort so repeated serializations of the same
+        # value are byte-identical (mixed types fall back to a repr sort).
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = sorted(value, key=repr)
+        return [to_jsonable(v) for v in items]
+    if isinstance(value, (list, tuple)):
         return [to_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     # Fall back to the string representation for exotic objects (e.g. trees).
     return str(value)
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical, deterministic JSON string.
+
+    Keys are sorted, separators are minimal and numpy types are converted
+    first, so structurally equal inputs always produce byte-equal output —
+    the basis for sweep seed derivation and the result store's config hashes.
+    """
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))
 
 
 def save_json(records: Any, path: Union[str, Path]) -> Path:

@@ -1,0 +1,268 @@
+"""On-disk result store: one JSONL record per (scenario, config, repetition).
+
+The store is the persistence layer of the scenario sweep engine
+(:mod:`repro.experiments.scenarios`).  Each scenario owns one append-only
+JSONL file under the store directory; every line is a self-contained entry
+
+.. code-block:: json
+
+    {"config": "<16-hex config hash>", "key": ..., "repetition": 0,
+     "seed": 123, "record": {...}}
+
+written atomically (single ``write`` of a full line, flushed and fsynced), so
+a killed sweep leaves at most one truncated trailing line.  On open the store
+scans each file, indexes the valid entries by ``(config_hash, repetition)``
+and remembers the byte offset of the last valid line; a truncated tail is
+detected, ignored, and truncated away before the next append.  Resumed sweeps
+ask :meth:`ResultStore.completed` which pairs exist and re-run only the rest,
+which makes an interrupted+resumed sweep record-identical to an uninterrupted
+one (seeds derive from the configuration key, not from execution order).
+
+Records pass through :func:`repro.io.results.to_jsonable` on write and are
+returned JSON-round-tripped on read, so the in-memory view of a freshly
+computed record and of a record loaded during resume are literally equal.
+``save_json`` / ``save_csv`` act as export views over the store via
+:meth:`ResultStore.export`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+try:  # POSIX advisory locks guard against concurrent writers.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (no locking)
+    fcntl = None  # type: ignore[assignment]
+
+from .results import canonical_json, save_csv, save_json
+
+__all__ = ["ResultStore", "StoreEntry", "config_hash"]
+
+#: Resume identity of one unit of work: (config hash, repetition index).
+Pair = Tuple[str, int]
+
+
+def config_hash(key: Any, params: Any) -> str:
+    """Stable 16-hex-digit hash identifying one sweep configuration.
+
+    Derived from the canonical JSON of the configuration key *and* its task
+    parameters, so a configuration whose parameters changed (same key, new
+    meaning) is not mistaken for already-completed work during resume.
+    """
+    payload = canonical_json({"key": key, "params": params})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class StoreEntry(dict):
+    """One parsed JSONL line; a dict with ``config/key/repetition/seed/record``."""
+
+    @property
+    def pair(self) -> Pair:
+        return (self["config"], int(self["repetition"]))
+
+
+class ResultStore:
+    """Append-only JSONL store of sweep records, one file per scenario.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created on first use.  Files are named
+        ``<scenario>.jsonl``.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # scenario -> {"entries": [StoreEntry], "pairs": {pair: StoreEntry},
+        #              "valid_bytes": int, "truncated": bool}
+        self._state: Dict[str, Dict[str, Any]] = {}
+        self._handles: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Layout and scanning
+    # ------------------------------------------------------------------ #
+    def path_for(self, scenario: str) -> Path:
+        """Path of the scenario's JSONL file."""
+        if not scenario or any(sep in scenario for sep in ("/", "\\", "..")):
+            raise ValueError(f"invalid scenario name {scenario!r}")
+        return self.directory / f"{scenario}.jsonl"
+
+    def _scan(self, scenario: str) -> Dict[str, Any]:
+        state = self._state.get(scenario)
+        if state is not None:
+            return state
+        entries: List[StoreEntry] = []
+        pairs: Dict[Pair, StoreEntry] = {}
+        valid_bytes = 0
+        truncated = False
+        path = self.path_for(scenario)
+        if path.exists():
+            with path.open("rb") as handle:
+                for raw in handle:
+                    if not raw.endswith(b"\n"):
+                        # Interrupted mid-write: ignore the partial tail.
+                        truncated = True
+                        break
+                    try:
+                        parsed = json.loads(raw.decode("utf-8"))
+                        entry = StoreEntry(parsed)
+                        entry.pair  # noqa: B018 - validates required fields
+                        entry["record"]
+                    except (ValueError, KeyError, TypeError):
+                        truncated = True
+                        break
+                    entries.append(entry)
+                    pairs[entry.pair] = entry
+                    valid_bytes += len(raw)
+        state = {
+            "entries": entries,
+            "pairs": pairs,
+            "valid_bytes": valid_bytes,
+            "truncated": truncated,
+        }
+        self._state[scenario] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Read side (resume index)
+    # ------------------------------------------------------------------ #
+    def completed(self, scenario: str) -> Dict[Pair, Dict[str, Any]]:
+        """Map of completed ``(config_hash, repetition)`` pairs to records."""
+        state = self._scan(scenario)
+        return {pair: entry["record"] for pair, entry in state["pairs"].items()}
+
+    def completed_entries(self, scenario: str) -> Dict[Pair, StoreEntry]:
+        """Map of completed pairs to full entries (record plus stored seed)."""
+        return dict(self._scan(scenario)["pairs"])
+
+    def entries(self, scenario: str) -> List[StoreEntry]:
+        """All valid entries of a scenario, in file (append) order."""
+        return list(self._scan(scenario)["entries"])
+
+    def records(self, scenario: str) -> List[Dict[str, Any]]:
+        """All stored records of a scenario, in file (append) order."""
+        return [entry["record"] for entry in self._scan(scenario)["entries"]]
+
+    def had_truncated_tail(self, scenario: str) -> bool:
+        """Whether the last scan found (and dropped) a partial trailing line."""
+        return bool(self._scan(scenario)["truncated"])
+
+    def index(self) -> Dict[str, Dict[str, Any]]:
+        """Summary of every scenario file currently in the store directory."""
+        summary: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self.directory.glob("*.jsonl")):
+            scenario = path.stem
+            state = self._scan(scenario)
+            summary[scenario] = {
+                "records": len(state["entries"]),
+                "configurations": len({e["config"] for e in state["entries"]}),
+                "file": path.name,
+            }
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def _writer(self, scenario: str):
+        handle = self._handles.get(scenario)
+        if handle is None or handle.closed:
+            path = self.path_for(scenario)
+            handle = path.open("ab")
+            if fcntl is not None:
+                # One writer per scenario file, across processes: a second
+                # live writer would race the truncated-tail repair below and
+                # could destroy records the first one fsynced.
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    handle.close()
+                    raise RuntimeError(
+                        f"another process is writing to {path}; "
+                        "run one sweep per store scenario at a time"
+                    ) from None
+            # Rescan under the lock: the pre-lock cache may predate appends
+            # by a writer that has since finished. Only a genuinely invalid
+            # tail (partial line from a kill) is truncated away.
+            self._state.pop(scenario, None)
+            state = self._scan(scenario)
+            if path.stat().st_size != state["valid_bytes"]:
+                with path.open("r+b") as repair:
+                    repair.truncate(state["valid_bytes"])
+                state["truncated"] = False
+            self._handles[scenario] = handle
+        return handle
+
+    def append(
+        self,
+        scenario: str,
+        *,
+        key: Any,
+        params: Any,
+        repetition: int,
+        seed: int,
+        record: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Persist one record; returns its JSON-round-tripped form.
+
+        The returned record is what a later resume would load from disk, so
+        callers that keep records in memory should use it in place of the
+        original (eliminating numpy-scalar vs builtin-float differences
+        between fresh and resumed runs).
+        """
+        entry = StoreEntry(
+            config=config_hash(key, params),
+            key=key,
+            repetition=int(repetition),
+            seed=int(seed),
+            record=record,
+        )
+        line = canonical_json(entry) + "\n"
+        # Round-trip through JSON so the in-memory entry equals the on-disk one.
+        entry = StoreEntry(json.loads(line))
+        handle = self._writer(scenario)
+        handle.write(line.encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+        state = self._scan(scenario)
+        state["entries"].append(entry)
+        state["pairs"][entry.pair] = entry
+        state["valid_bytes"] += len(line.encode("utf-8"))
+        return entry["record"]
+
+    def close(self) -> None:
+        """Close any open append handles (records already on disk stay valid)."""
+        for handle in self._handles.values():
+            if not handle.closed:
+                handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Export views
+    # ------------------------------------------------------------------ #
+    def export(self, scenario: str, directory: Union[str, Path]) -> Dict[str, Path]:
+        """Export a scenario's records as JSON and CSV next to the store.
+
+        Records are ordered by ``(config_hash, repetition)``, so exports are
+        byte-identical regardless of the completion (append) order.  The
+        sweep engine's own exports (``ExperimentResult.save``) instead use
+        deterministic task order.
+        """
+        state = self._scan(scenario)
+        pairs = state["pairs"]
+        records = [pairs[pair]["record"] for pair in sorted(pairs)]
+        directory = Path(directory)
+        return {
+            "records_json": save_json(records, directory / f"{scenario}_records.json"),
+            "records_csv": save_csv(records, directory / f"{scenario}_records.csv"),
+        }

@@ -6,12 +6,26 @@ import os
 
 import pytest
 
-from repro.analysis.sweep import SweepTask, expand_grid, run_sweep
+from repro.analysis.sweep import SweepTask, expand_grid, run_sweep, stable_key_hash
 
 
 def square_task(task: SweepTask) -> dict:
     """Module-level task function (picklable for process pools)."""
     return {"value": task.params["x"] ** 2, "seed_seen": task.seed}
+
+
+def failing_task(task: SweepTask) -> dict:
+    """Module-level task that fails for one specific input."""
+    if task.params["x"] == 3:
+        raise RuntimeError("boom at x=3")
+    return {"value": task.params["x"]}
+
+
+def env_task(task: SweepTask) -> dict:
+    """Module-level task reporting a REPRO_* env var seen in the worker."""
+    import os
+
+    return {"backend": os.environ.get("REPRO_KERNEL_BACKEND", "")}
 
 
 class TestExpandGrid:
@@ -66,3 +80,94 @@ class TestRunSweep:
         parallel = run_sweep(square_task, tasks, n_jobs=2)
         assert [r["value"] for r in serial] == [r["value"] for r in parallel]
         assert [r["seed"] for r in serial] == [r["seed"] for r in parallel]
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs >=2 CPUs")
+    def test_parallel_chunked_window(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(9)], repetitions=1, base_seed=4)
+        records = run_sweep(square_task, tasks, n_jobs=2, window=2)
+        assert [r["key"] for r in records] == list(range(9))
+
+    def test_invalid_window(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(3)], repetitions=1, base_seed=4)
+        with pytest.raises(ValueError):
+            run_sweep(square_task, tasks, n_jobs=2, window=0)
+
+
+class TestSeedStability:
+    """Regression: seeds derive from the configuration key, not its index."""
+
+    def test_stable_key_hash_is_deterministic(self):
+        assert stable_key_hash(("a", 1)) == stable_key_hash(("a", 1))
+        assert stable_key_hash(("a", 1)) != stable_key_hash(("a", 2))
+        # Tuples and lists canonicalize identically (both become JSON arrays).
+        assert stable_key_hash(("a", 1)) == stable_key_hash(["a", 1])
+
+    def test_adding_a_configuration_keeps_other_seeds(self):
+        small = expand_grid([("a", {}), ("c", {})], repetitions=2, base_seed=7)
+        large = expand_grid([("a", {}), ("b", {}), ("c", {})], repetitions=2, base_seed=7)
+        seeds_of = lambda tasks, key: [t.seed for t in tasks if t.key == key]
+        assert seeds_of(small, "a") == seeds_of(large, "a")
+        assert seeds_of(small, "c") == seeds_of(large, "c")
+
+    def test_reordering_configurations_keeps_seeds(self):
+        forward = expand_grid([("a", {}), ("b", {})], repetitions=3, base_seed=1)
+        backward = expand_grid([("b", {}), ("a", {})], repetitions=3, base_seed=1)
+        by_key = lambda tasks: {
+            (t.key, t.repetition): t.seed for t in tasks
+        }
+        assert by_key(forward) == by_key(backward)
+
+
+class TestSchedulerHooks:
+    def test_progress_serial(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(3)], repetitions=1, base_seed=5)
+        seen = []
+        run_sweep(square_task, tasks, n_jobs=1, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_on_result_replacement(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(2)], repetitions=1, base_seed=5)
+
+        def stamp(index, task, record):
+            return {**record, "stamped": True}
+
+        records = run_sweep(square_task, tasks, n_jobs=1, on_result=stamp)
+        assert all(r["stamped"] for r in records)
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs >=2 CPUs")
+    def test_progress_and_on_result_parallel(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(5)], repetitions=1, base_seed=6)
+        seen, collected = [], []
+
+        def collect(index, task, record):
+            collected.append(index)
+            return None
+
+        run_sweep(
+            square_task,
+            tasks,
+            n_jobs=2,
+            progress=lambda d, t: seen.append((d, t)),
+            on_result=collect,
+        )
+        assert [d for d, _ in seen] == [1, 2, 3, 4, 5]
+        assert all(t == 5 for _, t in seen)
+        assert sorted(collected) == list(range(5))
+
+    def test_fail_fast_serial(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(6)], repetitions=1, base_seed=7)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(failing_task, tasks, n_jobs=1)
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs >=2 CPUs")
+    def test_fail_fast_parallel(self):
+        tasks = expand_grid([(i, {"x": i}) for i in range(8)], repetitions=1, base_seed=7)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(failing_task, tasks, n_jobs=2, window=2)
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2, reason="needs >=2 CPUs")
+    def test_backend_env_propagates_to_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        tasks = expand_grid([(i, {}) for i in range(2)], repetitions=1, base_seed=8)
+        records = run_sweep(env_task, tasks, n_jobs=2)
+        assert all(r["backend"] == "numpy" for r in records)

@@ -1,0 +1,296 @@
+"""Tests for the on-disk JSONL result store (repro.io.store).
+
+The load-bearing guarantees:
+
+* a sweep killed mid-flight and resumed produces a result set bit-identical
+  to an uninterrupted run, with the persisted pairs not re-executed,
+* a truncated (partially written) trailing line is detected, dropped and the
+  corresponding pair re-run,
+* numpy scalars/arrays round-trip through store -> export.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepTask
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import ScenarioSpec
+from repro.io.store import ResultStore, config_hash
+
+
+def _task(key=("a", 1), params=None, repetition=0, seed=7):
+    return SweepTask(key=key, params=dict(params or {"x": 1}), repetition=repetition, seed=seed)
+
+
+def counting_task(task: SweepTask) -> dict:
+    """Module-level task (picklable) that logs every execution to a file."""
+    with open(task.params["log"], "a") as handle:
+        handle.write(f"{task.key}:{task.repetition}\n")
+    return {"value": task.params["x"] * 2, "n": task.params["x"]}
+
+
+def _counting_spec(log_path) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="counting",
+        result_name="counting",
+        description="counting scenario for store tests",
+        task=counting_task,
+        grid=lambda config: [
+            (("cfg", x), {"x": x, "log": str(log_path)}) for x in (1, 2, 3)
+        ],
+        group_by=("n",),
+        metrics=("value",),
+    )
+
+
+def _config(repetitions=2, seed=11):
+    return SimpleNamespace(repetitions=repetitions, seed=seed, n_jobs=1)
+
+
+class TestConfigHash:
+    def test_stable_and_order_independent(self):
+        a = config_hash(("k", 1), {"x": 1, "y": 2})
+        b = config_hash(("k", 1), {"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_sensitive_to_key_and_params(self):
+        base = config_hash(("k", 1), {"x": 1})
+        assert config_hash(("k", 2), {"x": 1}) != base
+        assert config_hash(("k", 1), {"x": 2}) != base
+
+
+class TestAppendAndScan:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        task = _task()
+        stored = store.append(
+            "demo",
+            key=task.key,
+            params=task.params,
+            repetition=task.repetition,
+            seed=task.seed,
+            record={"value": 3.5},
+        )
+        store.close()
+        assert stored == {"value": 3.5}
+        fresh = ResultStore(tmp_path)
+        pair = (config_hash(task.key, task.params), 0)
+        assert fresh.completed("demo") == {pair: {"value": 3.5}}
+        assert fresh.records("demo") == [{"value": 3.5}]
+        assert fresh.index()["demo"]["records"] == 1
+
+    def test_numpy_round_trip_through_store_and_export(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        record = {
+            "count": np.int64(4),
+            "cost": np.float64(2.5),
+            "flag": np.bool_(True),
+            "series": np.asarray([1.0, 2.0]),
+        }
+        stored = store.append(
+            "demo", key="k", params={}, repetition=0, seed=1, record=record
+        )
+        assert stored == {"count": 4, "cost": 2.5, "flag": True, "series": [1.0, 2.0]}
+        paths = store.export("demo", tmp_path / "export")
+        store.close()
+        loaded = json.loads(paths["records_json"].read_text())
+        assert loaded == [{"count": 4, "cost": 2.5, "flag": True, "series": [1.0, 2.0]}]
+        csv_text = paths["records_csv"].read_text()
+        assert "count" in csv_text and "2.5" in csv_text
+
+    def test_invalid_scenario_name(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.path_for("../escape")
+
+    def test_second_concurrent_writer_is_rejected(self, tmp_path):
+        pytest.importorskip("fcntl")
+        first = ResultStore(tmp_path)
+        first.append("demo", key="k", params={}, repetition=0, seed=1, record={"v": 1})
+        second = ResultStore(tmp_path)
+        with pytest.raises(RuntimeError, match="another process"):
+            second.append("demo", key="k", params={}, repetition=1, seed=2, record={"v": 2})
+        first.close()
+        # Once the first writer releases the lock, the second can proceed.
+        second.append("demo", key="k", params={}, repetition=1, seed=2, record={"v": 2})
+        second.close()
+        assert len(ResultStore(tmp_path).records("demo")) == 2
+
+    def test_writer_does_not_clobber_records_from_a_finished_writer(self, tmp_path):
+        # A store whose scan predates another writer's appends must not
+        # truncate those records away when it starts writing.
+        reader_then_writer = ResultStore(tmp_path)
+        assert reader_then_writer.completed("demo") == {}  # cache a stale scan
+        other = ResultStore(tmp_path)
+        other.append("demo", key="k", params={}, repetition=0, seed=1, record={"v": 1})
+        other.close()
+        reader_then_writer.append(
+            "demo", key="k", params={}, repetition=1, seed=2, record={"v": 2}
+        )
+        reader_then_writer.close()
+        assert len(ResultStore(tmp_path).records("demo")) == 2
+
+
+class TestTruncatedTail:
+    def _populate(self, directory, entries=3):
+        store = ResultStore(directory)
+        for index in range(entries):
+            store.append(
+                "demo",
+                key=("k", index),
+                params={"x": index},
+                repetition=0,
+                seed=index,
+                record={"value": index},
+            )
+        store.close()
+        return directory / "demo.jsonl"
+
+    def test_partial_last_line_detected_and_dropped(self, tmp_path):
+        path = self._populate(tmp_path)
+        full = path.read_bytes()
+        lines = full.splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        store = ResultStore(tmp_path)
+        assert store.had_truncated_tail("demo")
+        assert len(store.completed("demo")) == 2
+
+    def test_append_repairs_truncated_file(self, tmp_path):
+        path = self._populate(tmp_path)
+        full = path.read_bytes()
+        lines = full.splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        store = ResultStore(tmp_path)
+        store.append(
+            "demo", key=("k", 2), params={"x": 2}, repetition=0, seed=2, record={"value": 2}
+        )
+        store.close()
+        # The repaired file is byte-identical to the uninterrupted one.
+        assert path.read_bytes() == full
+
+    def test_garbage_line_treated_as_truncated(self, tmp_path):
+        path = self._populate(tmp_path)
+        with path.open("ab") as handle:
+            handle.write(b"{not json}\n")
+        store = ResultStore(tmp_path)
+        assert store.had_truncated_tail("demo")
+        assert len(store.completed("demo")) == 3
+
+
+class TestResume:
+    def test_resume_after_kill_is_bit_identical_and_skips_done_pairs(self, tmp_path):
+        # The log file is part of the task params (and thus of the config
+        # hash), so both runs must share it; executions are counted by line.
+        log = tmp_path / "executions.log"
+        spec = _counting_spec(log)
+        config = _config()
+
+        # Uninterrupted reference run.
+        store_a = ResultStore(tmp_path / "a")
+        result_a = run_scenario(spec, config=config, store=store_a)
+        store_a.close()
+        file_a = (tmp_path / "a" / "counting.jsonl").read_bytes()
+        assert len(log.read_text().splitlines()) == 6  # 3 configs x 2 reps
+
+        # Simulate a kill after 2 complete records plus half of the third.
+        lines = file_a.splitlines(keepends=True)
+        partial = b"".join(lines[:2]) + lines[2][:25]
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "counting.jsonl").write_bytes(partial)
+
+        store_b = ResultStore(tmp_path / "b")
+        result_b = run_scenario(spec, config=config, store=store_b, resume=True)
+        store_b.close()
+
+        # Bit-identical store file and identical in-memory results ...
+        assert (tmp_path / "b" / "counting.jsonl").read_bytes() == file_a
+        assert result_b.raw_records == result_a.raw_records
+        assert result_b.rows == result_a.rows
+        # ... and only the 4 missing pairs were executed during the resume.
+        assert len(log.read_text().splitlines()) == 6 + 4
+
+    def test_exports_identical_after_resume(self, tmp_path):
+        config = _config()
+        spec = _counting_spec(tmp_path / "l")
+        store_a = ResultStore(tmp_path / "a")
+        result_a = run_scenario(spec, config=config, store=store_a)
+        store_a.close()
+        result_a.save(tmp_path / "a_out")
+
+        file_a = (tmp_path / "a" / "counting.jsonl").read_bytes()
+        lines = file_a.splitlines(keepends=True)
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "counting.jsonl").write_bytes(b"".join(lines[:3]))
+        store_b = ResultStore(tmp_path / "b")
+        result_b = run_scenario(spec, config=config, store=store_b, resume=True)
+        store_b.close()
+        result_b.save(tmp_path / "b_out")
+
+        for name in ("counting_rows.json", "counting_rows.csv", "counting_raw.csv"):
+            assert (tmp_path / "a_out" / name).read_bytes() == (
+                tmp_path / "b_out" / name
+            ).read_bytes()
+
+    def test_fresh_run_against_populated_store_requires_resume(self, tmp_path):
+        config = _config()
+        store = ResultStore(tmp_path)
+        run_scenario(_counting_spec(tmp_path / "l"), config=config, store=store)
+        with pytest.raises(RuntimeError, match="resume"):
+            run_scenario(_counting_spec(tmp_path / "l"), config=config, store=store)
+        # Even a sweep with entirely different pairs (here: more repetitions
+        # under another base seed) conflicts — it would mix result sets.
+        with pytest.raises(RuntimeError, match="resume"):
+            run_scenario(
+                _counting_spec(tmp_path / "l"),
+                config=_config(repetitions=3, seed=99),
+                store=store,
+            )
+        store.close()
+
+    def test_resume_with_different_base_seed_is_an_error(self, tmp_path):
+        spec = _counting_spec(tmp_path / "l")
+        store = ResultStore(tmp_path / "store")
+        run_scenario(spec, config=_config(seed=11), store=store)
+        # Same pairs, different base seed: stale records must not be served.
+        with pytest.raises(RuntimeError, match="seed"):
+            run_scenario(spec, config=_config(seed=12), store=store, resume=True)
+        store.close()
+
+    def test_completed_resume_executes_nothing(self, tmp_path):
+        config = _config()
+        log = tmp_path / "l"
+        spec = _counting_spec(log)
+        store = ResultStore(tmp_path / "store")
+        result_a = run_scenario(spec, config=config, store=store)
+        executions = len(log.read_text().splitlines())
+        result_b = run_scenario(spec, config=config, store=store, resume=True)
+        store.close()
+        assert len(log.read_text().splitlines()) == executions  # nothing re-ran
+        assert result_b.raw_records == result_a.raw_records
+
+
+class TestExport:
+    def test_sorted_export_is_completion_order_independent(self, tmp_path):
+        # Append the same pairs in two different orders -> identical exports.
+        for name, order in (("fwd", (0, 1, 2)), ("rev", (2, 1, 0))):
+            store = ResultStore(tmp_path / name)
+            for index in order:
+                store.append(
+                    "demo",
+                    key=("k", index),
+                    params={"x": index},
+                    repetition=0,
+                    seed=index,
+                    record={"value": index},
+                )
+            store.export("demo", tmp_path / f"{name}_out")
+            store.close()
+        assert (tmp_path / "fwd_out" / "demo_records.json").read_bytes() == (
+            tmp_path / "rev_out" / "demo_records.json"
+        ).read_bytes()

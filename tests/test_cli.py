@@ -75,6 +75,73 @@ class TestExperimentCommand:
         assert (tmp_path / "figure2_rows.json").exists()
 
 
+class TestScenariosCommand:
+    def test_list(self, capsys):
+        code = main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("figure1", "table1", "density", "graph-models"):
+            assert name in out
+
+    def test_run_smoke_with_store(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            ["scenarios", "run", "figure2", "--smoke", "--out", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loss" in out
+        assert (out_dir / "store" / "figure2.jsonl").exists()
+        assert (out_dir / "figure2_rows.json").exists()
+        assert (out_dir / "figure2_rows.csv").exists()
+
+    def test_rerun_without_resume_fails(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert main(["scenarios", "run", "figure2", "--smoke", "--out", out_dir]) == 0
+        capsys.readouterr()
+        code = main(["scenarios", "run", "figure2", "--smoke", "--out", out_dir])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "resume" in captured.err
+
+    def test_resume_reproduces_store(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["scenarios", "run", "figure2", "--smoke", "--out", str(out_dir)]) == 0
+        store_file = out_dir / "store" / "figure2.jsonl"
+        full = store_file.read_bytes()
+        # Simulate a kill: drop the last record plus append half a line.
+        lines = full.splitlines(keepends=True)
+        store_file.write_bytes(b"".join(lines[:-1]) + lines[-1][:10])
+        code = main(
+            ["scenarios", "run", "figure2", "--smoke", "--out", str(out_dir), "--resume"]
+        )
+        assert code == 0
+        assert store_file.read_bytes() == full
+
+    def test_resume_requires_out(self, capsys):
+        code = main(["scenarios", "run", "figure2", "--smoke", "--resume"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_unknown_scenario(self, capsys):
+        code = main(["scenarios", "run", "not-a-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_table1_scenario(self, capsys):
+        code = main(["scenarios", "run", "table1", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm1_fast_gossiping" in out
+
+    def test_run_multiple_scenarios(self, capsys):
+        code = main(["scenarios", "run", "table1", "election", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm1_fast_gossiping" in out
+        assert "budgeted" in out
+
+
 class TestOtherCommands:
     def test_table1_command(self, capsys):
         code = main(["table1", "1024"])
