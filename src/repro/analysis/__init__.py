@@ -17,6 +17,7 @@ from .bounds import (
 )
 from .spreading import GrowthSummary, coverage_growth, phase_breakdown, rounds_to_coverage
 from .statistics import SampleStatistics, summarize, summarize_records, welford
+from .supervisor import RetryPolicy, SweepReport, TaskFailure, run_supervised_sweep
 from .sweep import SweepTask, expand_grid, run_sweep
 
 __all__ = [
@@ -44,6 +45,10 @@ __all__ = [
     "summarize",
     "summarize_records",
     "welford",
+    "RetryPolicy",
+    "SweepReport",
+    "TaskFailure",
+    "run_supervised_sweep",
     "SweepTask",
     "expand_grid",
     "run_sweep",

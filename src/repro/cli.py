@@ -9,10 +9,17 @@ Installed as ``python -m repro``; the subcommands cover the common workflows:
 ``scenarios``
     The scenario registry front-end: ``scenarios list`` shows every
     registered experiment scenario; ``scenarios run`` executes one or more of
-    them through the resumable sweep engine (``--jobs`` for process
-    parallelism, ``--out`` for the on-disk result store + exports,
+    them through the resumable, *supervised* sweep engine (``--jobs`` for
+    process parallelism, ``--out`` for the on-disk result store + exports,
     ``--resume`` to skip already-persisted (configuration, repetition) pairs
-    after an interruption, ``--smoke`` for the tiny CI scale).
+    after an interruption, ``--smoke`` for the tiny CI scale).  Sweeps are
+    fault tolerant: failing tasks are retried with seeded backoff
+    (``--max-retries``), hung tasks are reaped (``--timeout``), dead worker
+    pools are respawned, and permanently failing configurations are
+    quarantined — the command prints a supervision report and exits with
+    code 3 when any configuration was quarantined.  ``--chaos kill=1,error=1``
+    injects deterministic faults for drills (see ``docs/robustness.md``);
+    Ctrl-C flushes the store and prints the exact resume command.
 
 ``experiment``
     Legacy alias: run one named scenario at the quick laptop scale, print the
@@ -35,6 +42,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .analysis import RetryPolicy
 from .core import (
     FastGossiping,
     LeaderElection,
@@ -43,6 +51,7 @@ from .core import (
     table1_rows,
 )
 from .engine import MessageAccounting
+from .engine.chaos import FAULT_KINDS, ChaosSpec, parse_chaos_counts
 from .experiments import (
     all_scenarios,
     get_scenario,
@@ -131,6 +140,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="render an ASCII plot of the main series"
     )
     srun_parser.add_argument("--seed", type=int, default=None, help="override base seed")
+    srun_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="supervised retry budget per (configuration, repetition) before "
+        "the pair is quarantined (default 2)",
+    )
+    srun_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock timeout in seconds (kills and respawns the "
+        "worker pool; default: no timeout)",
+    )
+    srun_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministically inject faults, e.g. 'kill=1,error=1' "
+        f"(kinds: {', '.join(FAULT_KINDS)})",
+    )
+    srun_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed of the chaos fault sampler (default 0)",
+    )
+    srun_parser.add_argument(
+        "--chaos-attempts",
+        type=int,
+        default=1,
+        help="attempts each injected fault keeps firing for; above "
+        "--max-retries this simulates a poison configuration (default 1)",
+    )
     srun_parser.set_defaults(func=_cmd_scenarios_run)
 
     experiment_parser = subparsers.add_parser(
@@ -246,6 +289,53 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_command(args: argparse.Namespace) -> str:
+    """Reconstruct the command line that resumes an interrupted sweep."""
+    parts = ["python", "-m", "repro", "scenarios", "run", *args.names]
+    if args.out:
+        parts += ["--out", str(args.out), "--resume"]
+    if args.smoke:
+        parts.append("--smoke")
+    if args.jobs != 1:
+        parts += ["--jobs", str(args.jobs)]
+    if args.seed is not None:
+        parts += ["--seed", str(args.seed)]
+    return " ".join(parts)
+
+
+def _print_sweep_report(name: str, result) -> bool:
+    """Print the supervision summary; returns True when degraded."""
+    report = result.metadata.get("sweep_report")
+    if not report:
+        return False
+    quarantined = report.get("quarantined", [])
+    line = (
+        f"{name} supervision: {report['ok']}/{report['total']} ok, "
+        f"{report['retried']} retried ({report['retries']} retries), "
+        f"{len(quarantined)} quarantined"
+    )
+    extras = [
+        f"{report[field]} {label}"
+        for field, label in (
+            ("timeouts", "timeouts"),
+            ("worker_crashes", "worker crashes"),
+            ("pool_restarts", "pool restarts"),
+        )
+        if report.get(field)
+    ]
+    if extras:
+        line += f" [{', '.join(extras)}]"
+    print(line, file=sys.stderr)
+    for failure in quarantined:
+        print(
+            f"  quarantined: key={failure['key']} repetition={failure['repetition']} "
+            f"after {failure['attempts']} attempts ({failure['kind']}: "
+            f"{failure['message']})",
+            file=sys.stderr,
+        )
+    return bool(quarantined)
+
+
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     if args.resume and not args.out:
         print("error: --resume requires --out (the store to resume from)", file=sys.stderr)
@@ -261,8 +351,23 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        policy = RetryPolicy(max_retries=args.max_retries, timeout=args.timeout)
+        chaos = (
+            ChaosSpec(
+                counts=parse_chaos_counts(args.chaos),
+                seed=args.chaos_seed,
+                attempts=args.chaos_attempts,
+            )
+            if args.chaos
+            else None
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     out = Path(args.out) if args.out else None
     store = ResultStore(out / "store") if out else None
+    degraded = False
     try:
         for name in args.names:
             spec = get_scenario(name)
@@ -281,11 +386,15 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                     store=store if spec.run_override is None else None,
                     resume=args.resume,
                     progress=progress,
+                    supervise=spec.run_override is None,
+                    policy=policy if spec.run_override is None else None,
+                    chaos=chaos if spec.run_override is None else None,
                 )
             except RuntimeError as error:
                 print(f"\nerror: {error}", file=sys.stderr)
                 return 1
             print(file=sys.stderr)
+            degraded = _print_sweep_report(name, result) or degraded
             print(result.to_table())
             if args.plot:
                 _print_plot(result)
@@ -296,9 +405,30 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 for label, path in paths.items():
                     print(f"saved {label}: {path}")
             print()
+    except KeyboardInterrupt:
+        # Every completed record was already flushed+fsynced by the store;
+        # close it (flush + fsync again) and tell the user how to resume.
+        if store is not None:
+            store.close()
+        print(file=sys.stderr)
+        print(
+            "interrupted — completed (configuration, repetition) records are "
+            "safely on disk",
+            file=sys.stderr,
+        )
+        if args.out:
+            print(f"resume with:\n  {_resume_command(args)}", file=sys.stderr)
+        return 130
     finally:
         if store is not None:
             store.close()
+    if degraded:
+        print(
+            "error: one or more configurations were quarantined (see the "
+            "supervision report above)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

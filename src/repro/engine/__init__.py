@@ -13,7 +13,21 @@ registry that selects between NumPy, serial-C and threaded-C execution
 
 from . import backends
 from .channels import ChannelSet, open_channels
-from .failures import NO_FAILURES, FailurePlan, sample_uniform_failures
+from .chaos import (
+    ChaosError,
+    ChaosSpec,
+    Fault,
+    FaultPlan,
+    NO_CHAOS,
+    parse_chaos_counts,
+    sample_fault_plan,
+)
+from .failures import (
+    KNOWN_INJECTION_POINTS,
+    NO_FAILURES,
+    FailurePlan,
+    sample_uniform_failures,
+)
 from .knowledge import (
     FrontierKnowledge,
     KnowledgeMatrix,
@@ -29,6 +43,14 @@ __all__ = [
     "backends",
     "ChannelSet",
     "open_channels",
+    "ChaosError",
+    "ChaosSpec",
+    "Fault",
+    "FaultPlan",
+    "NO_CHAOS",
+    "parse_chaos_counts",
+    "sample_fault_plan",
+    "KNOWN_INJECTION_POINTS",
     "NO_FAILURES",
     "FailurePlan",
     "sample_uniform_failures",

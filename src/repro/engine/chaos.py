@@ -1,0 +1,298 @@
+"""Deterministic chaos harness for the supervised sweep executor.
+
+The paper studies gossip that survives ``f = n^{epsilon'}`` random *node*
+failures; this module turns the same adversarial mindset on our own execution
+layer.  A :class:`FaultPlan` names concrete faults to inject at chosen
+``(configuration, repetition)`` points of a sweep:
+
+``kill``
+    SIGKILL the pool worker mid-task (exercises ``BrokenProcessPool``
+    recovery and crash/resume byte-identity of the result store).
+``error``
+    Raise a :class:`ChaosError` inside the task (exercises bounded retry with
+    backoff).
+``hang``
+    Sleep for ``seconds`` before running the task (exercises per-task
+    wall-clock timeouts and pool respawn).
+``corrupt``
+    Overwrite bytes of the record's just-written store line with garbage
+    (exercises the store's per-line CRC32 skip-and-report path).
+
+Plans are *deterministic*: :func:`sample_fault_plan` derives its choices from
+:func:`repro.engine.rng.derive_seed`, so a chaos run is exactly reproducible
+from ``(task order, seed, counts)`` — the same discipline used for simulation
+seeds everywhere else.  Each fault fires on attempt indices ``< attempts``
+(default 1), so a transient fault injected on the first attempt succeeds on
+retry, while ``attempts`` larger than the retry budget simulates a poison
+configuration that must be quarantined.
+
+Faults select their target by *pair*: ``(config_hash, repetition)`` as used
+by the result store's resume index, so the same plan stays valid across
+resumed runs of the same grid.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .rng import derive_seed
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosError",
+    "Fault",
+    "FaultPlan",
+    "ChaosSpec",
+    "sample_fault_plan",
+    "parse_chaos_counts",
+    "inject_worker_faults",
+    "corrupt_last_line",
+    "NO_CHAOS",
+]
+
+#: Supported fault kinds, in the (stable) order used for seed derivation.
+FAULT_KINDS = ("kill", "error", "hang", "corrupt")
+
+#: Kinds injected inside the worker process (vs. on the store-writer side).
+WORKER_FAULT_KINDS = ("kill", "error", "hang")
+
+#: Resume identity of one unit of work, as used by the result store.
+Pair = Tuple[str, int]
+
+
+class ChaosError(RuntimeError):
+    """Transient error raised by an injected ``error`` fault."""
+
+
+def _check_kind(kind: str) -> str:
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+        )
+    return kind
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault, targeted at a sweep (configuration, repetition).
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    config:
+        Config hash (store pair identity) of the targeted configuration.
+    repetition:
+        Repetition index of the targeted task.
+    attempts:
+        The fault fires on attempt indices ``< attempts``; with the default 1
+        it hits only the first attempt, so a retry succeeds.  Set it above the
+        supervisor's retry budget to simulate a poison configuration.
+    seconds:
+        Sleep duration for ``hang`` faults.
+    """
+
+    kind: str
+    config: str
+    repetition: int
+    attempts: int = 1
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        _check_kind(self.kind)
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {self.seconds}")
+
+    @property
+    def pair(self) -> Pair:
+        return (self.config, int(self.repetition))
+
+    def fires_on(self, attempt: int) -> bool:
+        """Whether the fault fires on the given 0-based attempt index."""
+        return attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults, indexable by sweep pair."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def for_pair(self, pair: Pair) -> Tuple[Fault, ...]:
+        """All faults targeting ``pair``."""
+        return tuple(f for f in self.faults if f.pair == pair)
+
+    def worker_faults(self, pair: Pair) -> Tuple[Fault, ...]:
+        """Faults injected inside the worker process for ``pair``."""
+        return tuple(
+            f for f in self.faults if f.pair == pair and f.kind in WORKER_FAULT_KINDS
+        )
+
+    def store_faults(self, pair: Pair) -> Tuple[Fault, ...]:
+        """Store-write faults (``corrupt``) for ``pair``."""
+        return tuple(f for f in self.faults if f.pair == pair and f.kind == "corrupt")
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "no faults"
+        parts = [
+            f"{f.kind}@{f.config}.{f.repetition}"
+            + (f"(x{f.attempts})" if f.attempts > 1 else "")
+            for f in self.faults
+        ]
+        return ", ".join(parts)
+
+
+#: A reusable plan representing fault-free execution.
+NO_CHAOS = FaultPlan()
+
+
+def parse_chaos_counts(text: str) -> Dict[str, int]:
+    """Parse a CLI chaos spec like ``"kill=1,error=2"`` into kind counts.
+
+    A bare kind (``"kill"``) means one fault of that kind.  Unknown kinds and
+    negative counts raise :class:`ValueError` (a typo'd kind must not be
+    silently ignored).
+    """
+    counts: Dict[str, int] = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        kind, _, value = part.partition("=")
+        kind = _check_kind(kind.strip())
+        try:
+            count = int(value) if value else 1
+        except ValueError:
+            raise ValueError(f"invalid fault count {value!r} for kind {kind!r}") from None
+        if count < 0:
+            raise ValueError(f"fault count must be non-negative, got {kind}={count}")
+        counts[kind] = counts.get(kind, 0) + count
+    return counts
+
+
+def sample_fault_plan(
+    pairs: Sequence[Pair],
+    counts: Mapping[str, int],
+    seed: Optional[int] = 0,
+    *,
+    attempts: int = 1,
+    hang_seconds: float = 30.0,
+) -> FaultPlan:
+    """Deterministically choose fault targets among the sweep's pairs.
+
+    For each kind, ``counts[kind]`` distinct pairs are drawn from a
+    :func:`derive_seed`-keyed stream (one stream per kind), so the same
+    ``(pairs, counts, seed)`` always yields the same plan.  Counts must lie in
+    ``0 <= count <= len(pairs)``.
+    """
+    faults: List[Fault] = []
+    for kind, count in sorted(counts.items()):
+        _check_kind(kind)
+        if not 0 <= int(count) <= len(pairs):
+            raise ValueError(
+                f"cannot inject {count} {kind!r} fault(s): sweep has {len(pairs)} "
+                "(configuration, repetition) pairs"
+            )
+        rng = random.Random(derive_seed(seed, FAULT_KINDS.index(kind)))
+        for index in sorted(rng.sample(range(len(pairs)), int(count))):
+            config, repetition = pairs[index]
+            faults.append(
+                Fault(
+                    kind=kind,
+                    config=config,
+                    repetition=repetition,
+                    attempts=attempts,
+                    seconds=hang_seconds,
+                )
+            )
+    return FaultPlan(faults=tuple(faults))
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Chaos intent before the sweep grid is known.
+
+    ``repro scenarios run --chaos kill=1,error=1`` carries a spec like this;
+    :meth:`materialize` turns it into a concrete :class:`FaultPlan` once the
+    (deterministically ordered) task pairs exist.
+    """
+
+    counts: Mapping[str, int] = field(default_factory=dict)
+    seed: int = 0
+    attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for kind in self.counts:
+            _check_kind(kind)
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+
+    def materialize(self, pairs: Sequence[Pair]) -> FaultPlan:
+        return sample_fault_plan(
+            pairs,
+            self.counts,
+            self.seed,
+            attempts=self.attempts,
+            hang_seconds=self.hang_seconds,
+        )
+
+
+def inject_worker_faults(faults: Sequence[Fault], attempt: int) -> None:
+    """Fire the worker-side faults scheduled for this attempt (if any).
+
+    Called inside the pool worker right before the task function runs:
+    ``kill`` SIGKILLs the worker process, ``error`` raises
+    :class:`ChaosError`, ``hang`` sleeps for ``fault.seconds`` (and then lets
+    the task run — a stall, not a failure, unless a timeout reaps it).
+    """
+    for fault in faults:
+        if not fault.fires_on(attempt):
+            continue
+        if fault.kind == "kill":
+            os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+        elif fault.kind == "error":
+            raise ChaosError(
+                f"injected fault at ({fault.config}, {fault.repetition}), "
+                f"attempt {attempt}"
+            )
+        elif fault.kind == "hang":
+            time.sleep(fault.seconds)
+
+
+def corrupt_last_line(path: Union[str, Path], *, marker: bytes = b"\xff\xfe#chaos#") -> int:
+    """Overwrite the middle of the file's last line with garbage, in place.
+
+    The line keeps its length and trailing newline (so byte offsets of any
+    concurrent appender stay valid) but becomes undecodable, which the
+    hardened :class:`repro.io.store.ResultStore` must skip and report instead
+    of failing.  Returns the number of corrupted bytes.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    end = len(data) - 1 if data.endswith(b"\n") else len(data)
+    start = data.rfind(b"\n", 0, end) + 1
+    line_length = end - start
+    if line_length <= 0:
+        raise ValueError(f"no line to corrupt in {path}")
+    garbage = (marker * (line_length // len(marker) + 1))[:line_length]
+    with path.open("r+b") as handle:
+        handle.seek(start)
+        handle.write(garbage)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return line_length

@@ -22,7 +22,18 @@ import numpy as np
 
 from .rng import RandomState, make_rng
 
-__all__ = ["FailurePlan", "sample_uniform_failures", "NO_FAILURES"]
+__all__ = [
+    "FailurePlan",
+    "sample_uniform_failures",
+    "NO_FAILURES",
+    "KNOWN_INJECTION_POINTS",
+]
+
+#: Protocol points at which any in-tree protocol can inject failures.  A plan
+#: naming an unknown point would silently never fire, so construction
+#: validates against this list (``"start"`` is honoured by every protocol,
+#: ``"before_gather"`` only by the memory model's Phase II).
+KNOWN_INJECTION_POINTS = ("start", "before_gather")
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,11 @@ class FailurePlan:
     inject_at: str = "before_gather"
 
     def __post_init__(self) -> None:
+        if self.inject_at not in KNOWN_INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.inject_at!r}; known points: "
+                f"{', '.join(KNOWN_INJECTION_POINTS)}"
+            )
         arr = np.unique(np.asarray(self.failed, dtype=np.int64))
         object.__setattr__(self, "failed", arr)
 
@@ -99,8 +115,12 @@ def sample_uniform_failures(
         gathering root survives — the paper notes the leader fails only with
         probability ``n^{-Omega(1)}`` and treats it as healthy).
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+    if n_nodes < 0:
+        raise ValueError(f"n_nodes must be non-negative, got {n_nodes}")
+    if not 0 <= count <= n_nodes:
+        raise ValueError(
+            f"count must lie in [0, n_nodes={n_nodes}], got {count}"
+        )
     generator = make_rng(rng)
     protected = np.unique(np.asarray(list(protect or []), dtype=np.int64))
     eligible = np.setdiff1d(np.arange(n_nodes, dtype=np.int64), protected)

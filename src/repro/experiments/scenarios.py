@@ -35,7 +35,14 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.supervisor import (
+    RetryPolicy,
+    SweepReport,
+    TaskFailure,
+    run_supervised_sweep,
+)
 from ..analysis.sweep import SweepTask, expand_grid, run_sweep
+from ..engine.chaos import ChaosSpec, FaultPlan, corrupt_last_line
 from ..io.store import ResultStore, config_hash
 from .runner import ExperimentResult, aggregate_records
 
@@ -226,6 +233,9 @@ def run_scenario(
     store: Optional[ResultStore] = None,
     resume: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
+    supervise: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[Any] = None,
 ) -> ExperimentResult:
     """Run one scenario through the sweep engine and aggregate its result.
 
@@ -256,12 +266,29 @@ def run_scenario(
         (pass ``resume=True`` or point at a fresh store).
     progress:
         ``(done, total)`` callback over the *executed* tasks.
+    supervise:
+        Execute through the fault-tolerant supervisor
+        (:func:`repro.analysis.supervisor.run_supervised_sweep`): task
+        failures are retried with seeded backoff, dead worker pools are
+        respawned, poison configurations are quarantined (persisted as
+        structured failure entries when a store is given) and the resulting
+        :class:`~repro.analysis.supervisor.SweepReport` lands in
+        ``metadata["sweep_report"]``.  Implied by ``policy`` or ``chaos``.
+    policy:
+        The supervisor's :class:`~repro.analysis.supervisor.RetryPolicy`.
+    chaos:
+        A :class:`~repro.engine.chaos.FaultPlan` or
+        :class:`~repro.engine.chaos.ChaosSpec` of deterministically injected
+        faults (a spec is materialized against the full task grid, so the
+        plan is stable across resumed runs).
 
     Returns
     -------
     ExperimentResult
         Aggregated rows, raw records (in deterministic task order) and
         metadata, exactly as the legacy per-experiment entry points return.
+        Quarantined pairs are absent from the records (the sweep is degraded,
+        not aborted).
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
     config = resolve_config(spec, config=config, seed=seed, smoke=smoke, profile=profile)
@@ -278,23 +305,56 @@ def run_scenario(
     if n_jobs is None:
         n_jobs = int(getattr(config, "n_jobs", 1))
     tasks = expand_grid(configurations, repetitions, base_seed)
+    pairs = [_task_pair(task) for task in tasks]
+
+    supervised = supervise or policy is not None or chaos is not None
+    plan: Optional[FaultPlan] = None
+    if chaos is not None:
+        plan = chaos.materialize(pairs) if isinstance(chaos, ChaosSpec) else chaos
+    report: Optional[SweepReport] = None
+
+    def execute(
+        exec_tasks: List[SweepTask],
+        exec_pairs: List[Tuple[str, int]],
+        on_result,
+        on_failure,
+    ) -> List[Optional[Dict[str, Any]]]:
+        nonlocal report
+        if supervised:
+            exec_records, report = run_supervised_sweep(
+                spec.task,
+                exec_tasks,
+                n_jobs=n_jobs,
+                policy=policy,
+                chaos=plan,
+                pairs=exec_pairs,
+                progress=progress,
+                on_result=on_result,
+                on_failure=on_failure,
+            )
+            return exec_records
+        return run_sweep(
+            spec.task, exec_tasks, n_jobs=n_jobs, progress=progress, on_result=on_result
+        )
 
     if store is not None:
-        pairs = [_task_pair(task) for task in tasks]
         completed = store.completed_entries(spec.name)
-        # Any pre-existing record is a conflict without resume — even from a
-        # different grid/scale, since the scenario file would mix result sets.
-        if not resume and completed:
+        # Any pre-existing record (or quarantine failure) is a conflict
+        # without resume — even from a different grid/scale, since the
+        # scenario file would mix result sets.
+        if not resume and (completed or store.failures(spec.name)):
             raise RuntimeError(
                 f"store already holds records for scenario {spec.name!r}; "
                 "pass resume=True (--resume) to continue, or use a fresh store"
             )
         by_pair: Dict[Tuple[str, int], Dict[str, Any]] = {}
         pending: List[SweepTask] = []
+        pending_pairs: List[Tuple[str, int]] = []
         for task, pair in zip(tasks, pairs):
             entry = completed.get(pair)
             if entry is None:
                 pending.append(task)
+                pending_pairs.append(pair)
             elif int(entry["seed"]) != task.seed:
                 # A pair persisted under a different base seed is stale, not
                 # resumable: serving it would mix seeds silently.
@@ -308,6 +368,7 @@ def run_scenario(
                 by_pair[pair] = entry["record"]
 
         def persist(index: int, task: SweepTask, record: Dict[str, Any]) -> Dict[str, Any]:
+            pair = _task_pair(task)
             stored = store.append(
                 spec.name,
                 key=task.key,
@@ -316,15 +377,30 @@ def run_scenario(
                 seed=task.seed,
                 record=record,
             )
-            by_pair[_task_pair(task)] = stored
+            if plan is not None and plan.store_faults(pair):
+                # Chaos: garble the just-written line in place.  The in-memory
+                # record stays good for this run; a later scan must skip and
+                # report the corrupt line and resume must re-run the pair.
+                corrupt_last_line(store.path_for(spec.name))
+            by_pair[pair] = stored
             return stored
 
-        run_sweep(spec.task, pending, n_jobs=n_jobs, progress=progress, on_result=persist)
-        records = [by_pair[pair] for pair in pairs]
-    else:
-        records = run_sweep(spec.task, tasks, n_jobs=n_jobs, progress=progress)
+        def persist_failure(index: int, task: SweepTask, failure: TaskFailure) -> None:
+            store.append_failure(
+                spec.name,
+                key=task.key,
+                params=task.params,
+                repetition=task.repetition,
+                seed=task.seed,
+                failure=failure.to_jsonable(),
+            )
 
-    records = list(records)
+        execute(pending, pending_pairs, persist, persist_failure if supervised else None)
+        records = [by_pair[pair] for pair in pairs if pair in by_pair]
+    else:
+        records = execute(tasks, pairs, None, None)
+
+    records = [record for record in records if record is not None]
     if spec.prepare_records is not None:
         spec.prepare_records(records, config)
     if spec.aggregate is not None:
@@ -332,6 +408,8 @@ def run_scenario(
     else:
         rows = aggregate_records(records, spec.group_by, spec.metrics)
     metadata: Dict[str, Any] = dict(spec.metadata(config)) if spec.metadata else {}
+    if report is not None:
+        metadata["sweep_report"] = report.to_jsonable()
     if spec.finalize is not None:
         extra = spec.finalize(rows, records, config)
         if extra:

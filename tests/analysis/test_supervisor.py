@@ -1,0 +1,262 @@
+"""Tests for repro.analysis.supervisor (fault-tolerant sweep execution).
+
+The supervisor must keep a sweep alive through worker crashes, hung tasks and
+poison configurations — the execution-layer analogue of the paper's
+``f = n^epsilon`` random node failures — while staying exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.supervisor import (
+    RetryPolicy,
+    SweepReport,
+    TaskFailure,
+    run_supervised_sweep,
+)
+from repro.analysis.sweep import SweepTask, expand_grid
+from repro.engine.chaos import Fault, FaultPlan, sample_fault_plan
+from repro.io.store import config_hash
+
+
+def square_task(task: SweepTask) -> dict:
+    """Module-level task function (picklable for process pools)."""
+    return {"value": task.params["x"] ** 2}
+
+
+def poison_task(task: SweepTask) -> dict:
+    """Module-level task that always fails for one specific input."""
+    if task.params["x"] == 3:
+        raise RuntimeError("boom at x=3")
+    return {"value": task.params["x"]}
+
+
+def flaky_task(task: SweepTask) -> dict:
+    """Module-level task that fails its first two attempts (file-counted)."""
+    marker = task.params["dir"] + f"/attempts_{task.params['x']}"
+    with open(marker, "a") as handle:
+        handle.write("x\n")
+    with open(marker) as handle:
+        attempts = len(handle.readlines())
+    if attempts <= 2:
+        raise RuntimeError(f"transient failure on attempt {attempts}")
+    return {"value": task.params["x"], "attempts": attempts}
+
+
+def _tasks(count=5, base_seed=1):
+    return expand_grid([(i, {"x": i}) for i in range(count)], repetitions=1, base_seed=base_seed)
+
+
+def _pairs(tasks):
+    return [(config_hash(t.key, t.params), t.repetition) for t in tasks]
+
+
+FAST = RetryPolicy(max_retries=2, backoff_base=0.01, jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_without_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.3, jitter=0.0)
+        task = _tasks(1)[0]
+        assert policy.delay_for(task, 1) == pytest.approx(0.1)
+        assert policy.delay_for(task, 2) == pytest.approx(0.2)
+        assert policy.delay_for(task, 3) == pytest.approx(0.3)  # capped
+        assert policy.delay_for(task, 9) == pytest.approx(0.3)
+
+    def test_jittered_schedule_is_reproducible(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, seed=42)
+        task = _tasks(1)[0]
+        schedule = [policy.delay_for(task, a) for a in (1, 2, 3)]
+        assert schedule == [policy.delay_for(task, a) for a in (1, 2, 3)]
+        # Jitter stays inside the [1 - j, 1 + j] band around the base delay.
+        assert 0.05 <= schedule[0] <= 0.15
+
+    def test_jitter_streams_differ_per_task_and_attempt(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.5, seed=0)
+        a, b = _tasks(2)[:2]
+        assert policy.delay_for(a, 1) != policy.delay_for(b, 1)
+        assert policy.delay_for(a, 1) != policy.delay_for(a, 2)
+
+    def test_invalid_attempt(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_for(_tasks(1)[0], 0)
+
+
+class TestHappyPath:
+    def test_all_ok_order_preserved(self):
+        tasks = _tasks(6)
+        records, report = run_supervised_sweep(square_task, tasks, n_jobs=2, policy=FAST)
+        assert [r["value"] for r in records] == [i**2 for i in range(6)]
+        assert [r["key"] for r in records] == list(range(6))
+        assert report.ok == report.total == 6
+        assert not report.degraded
+        assert report.retries == report.timeouts == report.worker_crashes == 0
+
+    def test_empty_tasks(self):
+        records, report = run_supervised_sweep(square_task, [], policy=FAST)
+        assert records == [] and report.total == 0
+
+    def test_hooks(self):
+        tasks = _tasks(3)
+        seen, replaced = [], []
+
+        def stamp(index, task, record):
+            replaced.append(index)
+            return {**record, "stamped": True}
+
+        records, _ = run_supervised_sweep(
+            square_task,
+            tasks,
+            policy=FAST,
+            progress=lambda d, t: seen.append((d, t)),
+            on_result=stamp,
+        )
+        assert all(r["stamped"] for r in records)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        assert sorted(replaced) == [0, 1, 2]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_supervised_sweep(square_task, _tasks(1), n_jobs=0)
+        with pytest.raises(ValueError, match="pairs"):
+            run_supervised_sweep(square_task, _tasks(2), pairs=[("x", 0)])
+
+
+class TestQuarantine:
+    def test_poison_task_does_not_abort_the_grid(self):
+        tasks = _tasks(5)
+        failures = []
+        records, report = run_supervised_sweep(
+            poison_task,
+            tasks,
+            n_jobs=2,
+            policy=FAST,
+            on_failure=lambda i, t, f: failures.append((i, f)),
+        )
+        assert records[3] is None
+        assert [r["value"] for r in records if r is not None] == [0, 1, 2, 4]
+        assert report.degraded and report.ok == 4
+        (failure,) = report.quarantined
+        assert failure.index == 3 and failure.key == 3
+        assert failure.attempts == FAST.max_retries + 1
+        assert failure.kind == "error" and "boom at x=3" in failure.message
+        assert len(failure.history) == FAST.max_retries + 1
+        assert failures == [(3, failure)]
+
+    def test_failure_round_trips_to_json(self):
+        records, report = run_supervised_sweep(
+            poison_task, _tasks(4), policy=RetryPolicy(max_retries=0)
+        )
+        payload = report.to_jsonable()
+        assert payload["ok"] == 3 and len(payload["quarantined"]) == 1
+        assert payload["quarantined"][0]["attempts"] == 1
+        assert "boom" in payload["quarantined"][0]["message"]
+
+    def test_zero_retry_budget_quarantines_immediately(self):
+        _, report = run_supervised_sweep(
+            poison_task, _tasks(4), policy=RetryPolicy(max_retries=0, jitter=0.0)
+        )
+        assert report.retries == 0 and len(report.quarantined) == 1
+
+
+class TestRetries:
+    def test_transient_failure_recovers(self, tmp_path):
+        tasks = expand_grid(
+            [(i, {"x": i, "dir": str(tmp_path)}) for i in range(3)],
+            repetitions=1,
+            base_seed=2,
+        )
+        records, report = run_supervised_sweep(flaky_task, tasks, n_jobs=2, policy=FAST)
+        assert all(r is not None for r in records)
+        assert all(r["attempts"] == 3 for r in records)
+        assert report.retried == 3 and report.retries == 6
+        assert not report.degraded
+
+
+class TestChaosIntegration:
+    def test_worker_kill_recovers(self):
+        tasks = _tasks(6)
+        pairs = _pairs(tasks)
+        plan = sample_fault_plan(pairs, {"kill": 1}, seed=7)
+        records, report = run_supervised_sweep(
+            square_task,
+            tasks,
+            n_jobs=2,
+            policy=RetryPolicy(max_retries=3, backoff_base=0.01, jitter=0.0),
+            chaos=plan,
+            pairs=pairs,
+        )
+        assert all(r is not None for r in records)
+        assert [r["value"] for r in records] == [i**2 for i in range(6)]
+        assert report.worker_crashes >= 1
+        assert report.pool_restarts >= 1
+        assert not report.degraded
+
+    def test_transient_error_fault_retries(self):
+        tasks = _tasks(4)
+        pairs = _pairs(tasks)
+        plan = FaultPlan(
+            faults=(Fault(kind="error", config=pairs[1][0], repetition=0, attempts=1),)
+        )
+        records, report = run_supervised_sweep(
+            square_task, tasks, n_jobs=2, policy=FAST, chaos=plan, pairs=pairs
+        )
+        assert all(r is not None for r in records)
+        assert report.retried == 1 and report.retries == 1
+
+    def test_persistent_fault_beyond_budget_is_quarantined(self):
+        tasks = _tasks(4)
+        pairs = _pairs(tasks)
+        plan = FaultPlan(
+            faults=(Fault(kind="error", config=pairs[2][0], repetition=0, attempts=99),)
+        )
+        records, report = run_supervised_sweep(
+            square_task, tasks, n_jobs=2, policy=FAST, chaos=plan, pairs=pairs
+        )
+        assert records[2] is None
+        assert report.degraded and report.quarantined[0].index == 2
+
+    def test_hang_is_reaped_by_timeout(self):
+        tasks = _tasks(4)
+        pairs = _pairs(tasks)
+        plan = FaultPlan(
+            faults=(Fault(kind="hang", config=pairs[1][0], repetition=0, seconds=60.0),)
+        )
+        start = time.monotonic()
+        records, report = run_supervised_sweep(
+            square_task,
+            tasks,
+            n_jobs=2,
+            policy=RetryPolicy(max_retries=2, timeout=0.75, backoff_base=0.01, jitter=0.0),
+            chaos=plan,
+            pairs=pairs,
+        )
+        assert time.monotonic() - start < 30.0  # reaped, not waited out
+        assert all(r is not None for r in records)
+        assert report.timeouts >= 1 and report.pool_restarts >= 1
+        assert not report.degraded
+
+
+class TestSweepReport:
+    def test_summary_format(self):
+        report = SweepReport(total=5, ok=4, retried=1, retries=2, worker_crashes=1)
+        report.quarantined.append(
+            TaskFailure(
+                index=0, key="k", repetition=0, seed=1, attempts=3, kind="error", message="m"
+            )
+        )
+        text = report.summary()
+        assert "4/5 ok" in text and "1 quarantined" in text and "worker crashes" in text

@@ -255,11 +255,12 @@ class TestFailures:
             MemoryGossiping(leader=0).run(small_paper_graph, rng=29, failures=plan)
 
     def test_unsupported_injection_point(self, small_paper_graph):
-        plan = sample_uniform_failures(
-            small_paper_graph.n, 2, rng=30, inject_at="mid-broadcast"
-        )
-        with pytest.raises(ValueError):
-            MemoryGossiping(leader=0).run(small_paper_graph, rng=31, failures=plan)
+        # A plan naming an unknown point would silently never fire, so
+        # construction itself rejects it.
+        with pytest.raises(ValueError, match="unknown injection point"):
+            sample_uniform_failures(
+                small_paper_graph.n, 2, rng=30, inject_at="mid-broadcast"
+            )
 
     def test_zero_failures_equivalent_to_no_plan(self, small_paper_graph):
         from repro.engine.failures import FailurePlan

@@ -1,0 +1,174 @@
+"""Tests for repro.engine.chaos (deterministic fault injection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.chaos import (
+    FAULT_KINDS,
+    NO_CHAOS,
+    ChaosError,
+    ChaosSpec,
+    Fault,
+    FaultPlan,
+    corrupt_last_line,
+    inject_worker_faults,
+    parse_chaos_counts,
+    sample_fault_plan,
+)
+
+PAIRS = [(format(i, "016x"), rep) for i in range(4) for rep in range(2)]
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="meteor", config="0" * 16, repetition=0)
+
+    def test_invalid_attempts_and_seconds(self):
+        with pytest.raises(ValueError, match="attempts"):
+            Fault(kind="kill", config="0" * 16, repetition=0, attempts=0)
+        with pytest.raises(ValueError, match="seconds"):
+            Fault(kind="hang", config="0" * 16, repetition=0, seconds=0)
+
+    def test_fires_on_attempt_window(self):
+        fault = Fault(kind="error", config="0" * 16, repetition=0, attempts=2)
+        assert fault.fires_on(0) and fault.fires_on(1)
+        assert not fault.fires_on(2)
+
+    def test_pair_identity(self):
+        fault = Fault(kind="error", config="a" * 16, repetition=3)
+        assert fault.pair == ("a" * 16, 3)
+
+
+class TestFaultPlan:
+    def test_no_chaos_is_empty(self):
+        assert NO_CHAOS.is_empty()
+        assert NO_CHAOS.describe() == "no faults"
+        assert NO_CHAOS.for_pair(PAIRS[0]) == ()
+
+    def test_kind_routing(self):
+        pair = PAIRS[0]
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="kill", config=pair[0], repetition=pair[1]),
+                Fault(kind="corrupt", config=pair[0], repetition=pair[1]),
+            )
+        )
+        assert [f.kind for f in plan.worker_faults(pair)] == ["kill"]
+        assert [f.kind for f in plan.store_faults(pair)] == ["corrupt"]
+        assert len(plan.for_pair(pair)) == 2
+        assert plan.worker_faults(PAIRS[1]) == ()
+
+    def test_describe_mentions_targets(self):
+        plan = FaultPlan(
+            faults=(Fault(kind="error", config="a" * 16, repetition=1, attempts=3),)
+        )
+        text = plan.describe()
+        assert "error@" in text and "(x3)" in text
+
+
+class TestParseChaosCounts:
+    def test_counts_and_bare_kind(self):
+        assert parse_chaos_counts("kill=1,error=2") == {"kill": 1, "error": 2}
+        assert parse_chaos_counts("kill") == {"kill": 1}
+        assert parse_chaos_counts("kill, kill=2") == {"kill": 3}
+        assert parse_chaos_counts("") == {}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_chaos_counts("kil=1")
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError, match="invalid fault count"):
+            parse_chaos_counts("kill=lots")
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_chaos_counts("kill=-1")
+
+
+class TestSampleFaultPlan:
+    def test_deterministic_for_same_inputs(self):
+        a = sample_fault_plan(PAIRS, {"kill": 2, "error": 1}, seed=5)
+        b = sample_fault_plan(PAIRS, {"kill": 2, "error": 1}, seed=5)
+        assert a == b
+        assert not a.is_empty()
+
+    def test_seed_changes_targets(self):
+        plans = {
+            tuple(f.pair for f in sample_fault_plan(PAIRS, {"kill": 2}, seed=s).faults)
+            for s in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_targets_are_distinct_sweep_pairs(self):
+        plan = sample_fault_plan(PAIRS, {"error": len(PAIRS)}, seed=1)
+        assert sorted(f.pair for f in plan.faults) == sorted(PAIRS)
+
+    def test_count_bounds(self):
+        with pytest.raises(ValueError, match="pairs"):
+            sample_fault_plan(PAIRS, {"kill": len(PAIRS) + 1}, seed=0)
+        with pytest.raises(ValueError, match="pairs"):
+            sample_fault_plan(PAIRS, {"kill": -1}, seed=0)
+        assert sample_fault_plan(PAIRS, {"kill": 0}, seed=0).is_empty()
+
+    def test_attempts_and_hang_seconds_propagate(self):
+        plan = sample_fault_plan(PAIRS, {"hang": 1}, seed=2, attempts=4, hang_seconds=0.5)
+        (fault,) = plan.faults
+        assert fault.attempts == 4 and fault.seconds == 0.5
+
+
+class TestChaosSpec:
+    def test_materialize_matches_sample(self):
+        spec = ChaosSpec(counts={"kill": 1, "error": 1}, seed=3)
+        assert spec.materialize(PAIRS) == sample_fault_plan(
+            PAIRS, {"kill": 1, "error": 1}, seed=3
+        )
+
+    def test_validates_kinds_and_attempts(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ChaosSpec(counts={"nope": 1})
+        with pytest.raises(ValueError, match="attempts"):
+            ChaosSpec(counts={"kill": 1}, attempts=0)
+
+
+class TestInjectWorkerFaults:
+    def test_error_fault_raises_on_scheduled_attempt_only(self):
+        fault = Fault(kind="error", config="b" * 16, repetition=0, attempts=1)
+        with pytest.raises(ChaosError, match="injected fault"):
+            inject_worker_faults([fault], attempt=0)
+        inject_worker_faults([fault], attempt=1)  # retry attempt: no fault
+
+    def test_hang_fault_sleeps(self):
+        import time
+
+        fault = Fault(kind="hang", config="b" * 16, repetition=0, seconds=0.05)
+        start = time.monotonic()
+        inject_worker_faults([fault], attempt=0)
+        assert time.monotonic() - start >= 0.05
+
+
+class TestCorruptLastLine:
+    def test_garbles_only_the_last_line_in_place(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"b": 2}\n')
+        before = path.read_bytes()
+        corrupted = corrupt_last_line(path)
+        after = path.read_bytes()
+        assert corrupted == len(b'{"b": 2}')
+        assert len(after) == len(before)  # in place: offsets stay valid
+        assert after.startswith(b'{"a": 1}\n')
+        assert after.endswith(b"\n")
+        with pytest.raises(UnicodeDecodeError):
+            after.splitlines()[1].decode("utf-8")
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_last_line(path)
+
+
+def test_fault_kind_order_is_stable():
+    # Seed derivation keys on the index into FAULT_KINDS; reordering it would
+    # silently change every sampled chaos plan.
+    assert FAULT_KINDS == ("kill", "error", "hang", "corrupt")

@@ -37,6 +37,14 @@ class TestFailurePlan:
         assert not plan.applies_at("start")
         assert not NO_FAILURES.applies_at("before_gather")
 
+    def test_unknown_injection_point_rejected_at_construction(self):
+        from repro.engine.failures import KNOWN_INJECTION_POINTS
+
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FailurePlan(failed=np.asarray([1]), inject_at="mid-broadcast")
+        for point in KNOWN_INJECTION_POINTS:
+            FailurePlan(failed=np.asarray([1]), inject_at=point)
+
 
 class TestSampling:
     def test_count_and_range(self):
@@ -49,12 +57,20 @@ class TestSampling:
         assert plan.is_empty()
 
     def test_negative_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\[0, n_nodes"):
             sample_uniform_failures(10, -1, rng=1)
 
     def test_too_many(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\[0, n_nodes"):
             sample_uniform_failures(10, 11, rng=1)
+
+    def test_negative_n_nodes(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            sample_uniform_failures(-1, 0, rng=1)
+
+    def test_unknown_injection_point(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            sample_uniform_failures(10, 2, rng=1, inject_at="mid-broadcast")
 
     def test_protected_nodes_never_fail(self):
         for seed in range(5):

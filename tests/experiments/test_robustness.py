@@ -1,0 +1,238 @@
+"""End-to-end robustness tests: supervised scenarios under injected chaos.
+
+The acceptance bar for the fault-tolerance layer: a sweep that suffers a
+SIGKILLed worker, a transient task fault and a corrupted store line must still
+produce results (and exports) bit-identical to a fault-free run at the same
+seed, and a permanently failing configuration must be quarantined without
+aborting the rest of the grid.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.supervisor import RetryPolicy
+from repro.analysis.sweep import SweepTask
+from repro.engine.chaos import ChaosSpec, Fault, FaultPlan
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import ScenarioSpec
+from repro.io.store import ResultStore, config_hash
+
+#: Deterministic supervision: zero backoff and zero jitter keep the retry
+#: resubmission order equal to the task order (byte-identical store files).
+DETERMINISTIC = RetryPolicy(max_retries=3, backoff_base=0.0, jitter=0.0)
+
+
+def doubling_task(task: SweepTask) -> dict:
+    """Module-level task (picklable) with a deterministic record."""
+    return {"value": task.params["x"] * 2, "n": task.params["x"]}
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="robust",
+        result_name="robust",
+        description="robustness scenario for chaos tests",
+        task=doubling_task,
+        grid=lambda config: [(("cfg", x), {"x": x}) for x in (1, 2, 3)],
+        group_by=("n",),
+        metrics=("value",),
+    )
+
+
+def _config(repetitions=2, seed=11):
+    return SimpleNamespace(repetitions=repetitions, seed=seed, n_jobs=1)
+
+
+def _grid_pairs(config=None):
+    config = config or _config()
+    return [
+        (config_hash(("cfg", x), {"x": x}), rep)
+        for x in (1, 2, 3)
+        for rep in range(config.repetitions)
+    ]
+
+
+def _reference_run(tmp_path):
+    """Fault-free supervised run: returns (result, store file bytes, out dir)."""
+    store = ResultStore(tmp_path / "ref")
+    result = run_scenario(
+        _spec(), config=_config(), store=store, supervise=True, policy=DETERMINISTIC
+    )
+    store.close()
+    result.save(tmp_path / "ref_out")
+    return result, (tmp_path / "ref" / "robust.jsonl").read_bytes(), tmp_path / "ref_out"
+
+
+EXPORTS = ("robust_rows.json", "robust_rows.csv", "robust_raw.csv")
+
+
+class TestKillRecovery:
+    def test_store_file_byte_identical_to_fault_free_run(self, tmp_path):
+        result_ref, file_ref, out_ref = _reference_run(tmp_path)
+
+        store = ResultStore(tmp_path / "chaos")
+        result = run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=DETERMINISTIC,
+            chaos=ChaosSpec(counts={"kill": 1}, seed=7),
+        )
+        store.close()
+        result.save(tmp_path / "chaos_out")
+
+        report = result.metadata["sweep_report"]
+        assert report["worker_crashes"] >= 1 and report["pool_restarts"] >= 1
+        assert not report["quarantined"]
+        # A SIGKILLed worker mid-sweep leaves no trace in the result set: the
+        # store file and every export are byte-identical to the clean run.
+        assert (tmp_path / "chaos" / "robust.jsonl").read_bytes() == file_ref
+        assert result.raw_records == result_ref.raw_records
+        assert result.rows == result_ref.rows
+        for name in EXPORTS:
+            assert (tmp_path / "chaos_out" / name).read_bytes() == (
+                out_ref / name
+            ).read_bytes()
+
+    def test_transient_error_fault_exports_identical(self, tmp_path):
+        result_ref, _, out_ref = _reference_run(tmp_path)
+        store = ResultStore(tmp_path / "chaos")
+        result = run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=DETERMINISTIC,
+            chaos=ChaosSpec(counts={"error": 2}, seed=3),
+        )
+        store.close()
+        result.save(tmp_path / "chaos_out")
+        assert result.metadata["sweep_report"]["retries"] >= 2
+        # Retried records may land in the store out of order, but records,
+        # rows and exports are identical to the fault-free run.
+        assert result.raw_records == result_ref.raw_records
+        for name in EXPORTS:
+            assert (tmp_path / "chaos_out" / name).read_bytes() == (
+                out_ref / name
+            ).read_bytes()
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_store_line_is_rerun_on_resume(self, tmp_path):
+        result_ref, file_ref, out_ref = _reference_run(tmp_path)
+
+        store = ResultStore(tmp_path / "chaos")
+        result = run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=DETERMINISTIC,
+            chaos=ChaosSpec(counts={"corrupt": 1}, seed=5),
+        )
+        store.close()
+        # This run's in-memory records never saw the corruption.
+        assert result.raw_records == result_ref.raw_records
+
+        # A fresh scan skips and reports the garbled line; the pair is no
+        # longer complete, so resume re-runs exactly that pair.
+        fresh = ResultStore(tmp_path / "chaos")
+        assert len(fresh.corruption("robust")) == 1
+        assert len(fresh.completed("robust")) == len(_grid_pairs()) - 1
+        resumed = run_scenario(
+            _spec(), config=_config(), store=fresh, resume=True, supervise=True
+        )
+        fresh.close()
+        resumed.save(tmp_path / "resumed_out")
+        assert resumed.raw_records == result_ref.raw_records
+        for name in EXPORTS:
+            assert (tmp_path / "resumed_out" / name).read_bytes() == (
+                out_ref / name
+            ).read_bytes()
+
+
+class TestQuarantine:
+    def _poison_plan(self):
+        # A fault that outlives any retry budget: a poison configuration.
+        config = _grid_pairs()[0][0]
+        return FaultPlan(
+            faults=tuple(
+                Fault(kind="error", config=config, repetition=rep, attempts=99)
+                for rep in range(2)
+            )
+        )
+
+    def test_poison_config_is_quarantined_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0),
+            chaos=self._poison_plan(),
+        )
+        store.close()
+        report = result.metadata["sweep_report"]
+        assert len(report["quarantined"]) == 2
+        assert report["ok"] == 4
+        # The grid was not aborted: the healthy configurations aggregated.
+        assert len(result.raw_records) == 4
+        assert {row["n"] for row in result.rows} == {2, 3}
+        # Structured failure entries landed in the store.
+        fresh = ResultStore(tmp_path / "store")
+        failures = fresh.failures("robust")
+        assert len(failures) == 2
+        assert all(f["kind"] == "error" for f in failures.values())
+        assert all("injected fault" in f["message"] for f in failures.values())
+
+    def test_resume_retries_quarantined_pairs_and_supersedes_failures(self, tmp_path):
+        result_ref, _, _ = _reference_run(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0),
+            chaos=self._poison_plan(),
+        )
+        store.close()
+
+        # Resume without chaos: only the 2 quarantined pairs re-run, succeed,
+        # and supersede their failure entries.
+        fresh = ResultStore(tmp_path / "store")
+        resumed = run_scenario(
+            _spec(), config=_config(), store=fresh, resume=True, supervise=True
+        )
+        fresh.close()
+        assert resumed.raw_records == result_ref.raw_records
+        final = ResultStore(tmp_path / "store")
+        assert final.failures("robust") == {}
+        assert len(final.completed("robust")) == len(_grid_pairs())
+
+    def test_fresh_run_against_quarantined_store_requires_resume(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_scenario(
+            _spec(),
+            config=_config(),
+            store=store,
+            policy=RetryPolicy(max_retries=0, backoff_base=0.0, jitter=0.0),
+            chaos=self._poison_plan(),
+        )
+        # Even a store holding only failure entries for a pair conflicts
+        # without resume (it documents an earlier, different run).
+        with pytest.raises(RuntimeError, match="resume"):
+            run_scenario(_spec(), config=_config(), store=store, supervise=True)
+        store.close()
+
+
+class TestSupervisedMetadata:
+    def test_unsupervised_run_has_no_sweep_report(self, tmp_path):
+        result = run_scenario(_spec(), config=_config())
+        assert "sweep_report" not in result.metadata
+
+    def test_supervised_run_records_report(self, tmp_path):
+        result = run_scenario(_spec(), config=_config(), supervise=True)
+        report = result.metadata["sweep_report"]
+        assert report["total"] == report["ok"] == 6
+        assert report["quarantined"] == []

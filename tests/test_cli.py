@@ -128,6 +128,69 @@ class TestScenariosCommand:
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["scenarios", "run", "figure2"])
+        assert args.max_retries == 2
+        assert args.timeout is None
+        assert args.chaos is None
+        assert args.chaos_seed == 0
+        assert args.chaos_attempts == 1
+
+    def test_invalid_chaos_spec(self, capsys):
+        code = main(["scenarios", "run", "figure2", "--smoke", "--chaos", "meteor=1"])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_chaos_run_completes_clean(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "scenarios", "run", "figure2", "--smoke",
+                "--out", str(out_dir),
+                "--chaos", "kill=1,error=1",
+                "--chaos-seed", "7",
+                "--max-retries", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "supervision:" in captured.err
+        assert "0 quarantined" in captured.err
+        assert (out_dir / "store" / "figure2.jsonl").exists()
+        assert (out_dir / "figure2_rows.json").exists()
+
+    def test_quarantine_exits_nonzero(self, capsys):
+        # A fault outliving the retry budget simulates a poison configuration:
+        # the run finishes (degraded) and exits 3 rather than aborting.
+        code = main(
+            [
+                "scenarios", "run", "figure2", "--smoke",
+                "--chaos", "error=1",
+                "--chaos-attempts", "99",
+                "--max-retries", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "quarantined" in captured.err
+
+    def test_keyboard_interrupt_prints_resume_command(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "run_scenario", interrupt)
+        code = main(
+            ["scenarios", "run", "figure2", "--smoke", "--out", str(tmp_path / "out")]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "safely on disk" in captured.err
+        assert "resume with" in captured.err
+        assert "--resume" in captured.err
+        assert "figure2" in captured.err
+
     def test_run_table1_scenario(self, capsys):
         code = main(["scenarios", "run", "table1", "--smoke"])
         out = capsys.readouterr().out
