@@ -21,6 +21,16 @@ kernel timings (``numpy`` / ``c`` / ``c-threads``) for every size, and a
 thread-scaling micro-bench that times one forced-``t``-thread exchange
 round at t in {1, 2, 4, 8} — the measurement behind the small-batch
 dispatch cutoff documented in ``docs/parallelism.md``.
+
+Memory measurements (schema 3): every protocol entry carries the peak RSS
+of the run, and a ``large_n`` section runs the full push-pull protocol at
+n = 100000 once per knowledge-storage layout (``dense`` / ``paged`` /
+``sparse``, :mod:`repro.engine.layouts`) with per-layout wall-clock, peak
+RSS and resident storage bytes, cross-checked for bit-identical final
+states via the storage fingerprint.  ``ru_maxrss`` is a process-lifetime
+high-water mark, so each of these measurements runs in a fresh subprocess
+(this script re-invoked with ``--_child``); the reported RSS includes
+graph construction, which every protocol run pays.
 """
 
 from __future__ import annotations
@@ -29,9 +39,10 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -47,6 +58,9 @@ from repro.graphs import paper_edge_probability
 SCALING_THREADS = (1, 2, 4, 8)
 
 SIZES = (1000, 5000, 20000)
+#: Large-n layout benchmark: one full protocol run per storage layout.
+LARGE_N = 100_000
+LARGE_N_LAYOUTS = ("dense", "paged", "sparse")
 GRAPH_SEED = 5
 PROTOCOL_SEEDS = {"push-pull": 1, "fast-gossiping": 2, "memory": 3}
 
@@ -83,6 +97,131 @@ def available_backends() -> "Dict[str, backends.KernelBackend]":
         variants["c"] = backends.CSerialBackend()
         variants["c-threads"] = backends.CThreadsBackend()
     return variants
+
+
+def _make_protocol(name: str):
+    return {
+        "push-pull": lambda: PushPullGossip(),
+        "fast-gossiping": lambda: FastGossiping(),
+        "memory": lambda: MemoryGossiping(leader=0),
+    }[name]()
+
+
+def _child_main(spec_json: str) -> int:
+    """One isolated protocol measurement; prints a JSON result line.
+
+    Runs in a fresh process so ``ru_maxrss`` (a process-lifetime high-water
+    mark) reflects exactly this (layout, protocol, n) combination.  The
+    storage layout is inherited from ``REPRO_KNOWLEDGE_LAYOUT``, which the
+    parent sets per measurement.
+    """
+    import resource
+
+    spec = json.loads(spec_json)
+    n = int(spec["n"])
+    graph = erdos_renyi(
+        n,
+        paper_edge_probability(n),
+        rng=int(spec.get("graph_seed", GRAPH_SEED)),
+        require_connected=True,
+    )
+    protocol = _make_protocol(spec["protocol"])
+    wall, result = best_of(
+        lambda: protocol.run(graph, rng=int(spec["seed"])),
+        int(spec.get("repeats", 1)),
+    )
+    knowledge = result.knowledge
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    out = {
+        "layout": type(knowledge).layout,
+        "storage_class": type(knowledge).__name__,
+        "backend": backends.active().name,
+        "wall_clock_s": round(wall, 6),
+        "rounds": int(result.rounds),
+        "completed": bool(result.completed),
+        "total_messages": int(result.total_messages()),
+        "fingerprint": knowledge.fingerprint(),
+        "peak_rss_mb": round(peak_rss_kb / 1024.0, 1),
+        "storage_mb": round(knowledge.storage_nbytes() / 1e6, 1),
+    }
+    json.dump(out, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+def measure_in_subprocess(
+    n: int,
+    protocol_name: str,
+    seed: int,
+    repeats: int = 1,
+    layout: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run one (layout, protocol, n) measurement in a fresh subprocess."""
+    spec = {"n": n, "protocol": protocol_name, "seed": seed, "repeats": repeats}
+    env = dict(os.environ)
+    if layout is not None:
+        env["REPRO_KNOWLEDGE_LAYOUT"] = layout
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--_child", json.dumps(spec)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"child benchmark failed (n={n}, {protocol_name}, layout={layout}):\n"
+            f"{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def large_n_entry(n: int, repeats: int) -> Dict[str, object]:
+    """Full push-pull runs at large n, once per storage layout.
+
+    The layouts must agree on rounds, message totals and the final knowledge
+    fingerprint — the cross-layout bit-identity contract, verified here at a
+    size where it actually matters.
+    """
+    entry: Dict[str, object] = {
+        "n": n,
+        "protocol": "push-pull",
+        "graph_seed": GRAPH_SEED,
+        "seed": PROTOCOL_SEEDS["push-pull"],
+        "layouts": {},
+    }
+    reference = None
+    for layout in LARGE_N_LAYOUTS:
+        print(f"large-n={n}: push-pull under {layout} layout ...", flush=True)
+        row = measure_in_subprocess(
+            n, "push-pull", PROTOCOL_SEEDS["push-pull"], repeats, layout=layout
+        )
+        if not row["completed"]:
+            raise RuntimeError(f"large-n push-pull did not complete under {layout}")
+        if reference is None:
+            reference = row
+        elif (
+            row["rounds"] != reference["rounds"]
+            or row["total_messages"] != reference["total_messages"]
+            or row["fingerprint"] != reference["fingerprint"]
+        ):
+            raise RuntimeError(
+                f"large-n trajectory diverged under the {layout} layout"
+            )
+        entry["layouts"][layout] = {
+            k: row[k]
+            for k in (
+                "storage_class",
+                "wall_clock_s",
+                "rounds",
+                "completed",
+                "total_messages",
+                "peak_rss_mb",
+                "storage_mb",
+            )
+        }
+    entry["fingerprint"] = reference["fingerprint"]
+    entry["fingerprints_match"] = True
+    return entry
 
 
 def protocol_entry(protocol, graph, seed: int, repeats: int) -> Dict[str, object]:
@@ -260,6 +399,8 @@ def memory_kernel_entry(graph, repeats: int) -> Dict[str, object]:
 
 
 def main() -> int:
+    if len(sys.argv) >= 3 and sys.argv[1] == "--_child":
+        return _child_main(sys.argv[2])
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "-o",
@@ -273,18 +414,25 @@ def main() -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="best-of repeats per measurement"
     )
+    parser.add_argument(
+        "--skip-large",
+        action="store_true",
+        help="skip the n=100000 per-layout section (implied by --quick)",
+    )
     args = parser.parse_args()
 
     sizes = SIZES[:1] if args.quick else SIZES
     report: Dict[str, object] = {
-        "schema": "repro-bench-kernel/2",
+        "schema": "repro-bench-kernel/3",
         "description": (
             "Kernel benchmark baseline: full protocol runs and raw knowledge-"
             "kernel operations at fixed seeds (graph rng=5; protocol rngs: "
             "push-pull=1, fast-gossiping=2, memory=3); wall-clock is best-of-"
             f"{args.repeats}.  Per-backend timings and the forced-thread "
             "exchange scaling live under sizes.<n>.kernel / the protocols' "
-            "backend_wall_clock_ms."
+            "backend_wall_clock_ms.  peak_rss_mb fields are ru_maxrss of a "
+            "fresh subprocess per measurement (graph construction included); "
+            "large_n runs full push-pull per storage layout at n=100000."
         ),
         "compiled_kernel": _ckernel.available(),
         "backend": backends.active().describe(),
@@ -321,6 +469,12 @@ def main() -> int:
             entry[name] = protocol_entry(
                 protocol, graph, PROTOCOL_SEEDS[name], args.repeats
             )
+            # Peak RSS of one isolated run (fresh subprocess: ru_maxrss is a
+            # process-lifetime high-water mark and would otherwise report
+            # whatever earlier measurement was biggest).
+            rss_row = measure_in_subprocess(n, name, PROTOCOL_SEEDS[name])
+            entry[name]["peak_rss_mb"] = rss_row["peak_rss_mb"]
+            entry[name]["storage_mb"] = rss_row["storage_mb"]
             seed_ms = SEED_REFERENCE_MS.get(str(n), {}).get(name)
             if seed_ms is not None:
                 entry[name]["seed_wall_clock_ms"] = seed_ms
@@ -328,6 +482,9 @@ def main() -> int:
                     seed_ms / (entry[name]["wall_clock_s"] * 1000), 2
                 )
         report["sizes"][str(n)] = entry
+
+    if not (args.quick or args.skip_large):
+        report["large_n"] = large_n_entry(LARGE_N, repeats=1)
 
     output = os.path.abspath(args.output)
     with open(output, "w") as fh:
@@ -340,7 +497,8 @@ def main() -> int:
             print(
                 f"  n={n:>6} {proto:<15} rounds={row['rounds']:>4} "
                 f"wall={row['wall_clock_s']*1000:8.1f}ms "
-                f"({row['rounds_per_s']} rounds/s)"
+                f"({row['rounds_per_s']} rounds/s) "
+                f"rss={row['peak_rss_mb']}MB"
             )
         mk = entry["memory_kernel"]
         print(
@@ -359,6 +517,16 @@ def main() -> int:
                 f"t={t}:{ms:.2f}ms" for t, ms in kr["thread_scaling"].items()
             )
             print(f"  n={n:>6} {'exchange-threads':<15} {scaling}")
+    large = report.get("large_n")
+    if large:
+        print(f"  large-n={large['n']} push-pull per storage layout:")
+        for layout, row in large["layouts"].items():
+            print(
+                f"    {layout:<7} rounds={row['rounds']:>3} "
+                f"wall={row['wall_clock_s']:7.2f}s "
+                f"rss={row['peak_rss_mb']:>8}MB "
+                f"storage={row['storage_mb']:>8}MB"
+            )
     return 0
 
 

@@ -10,11 +10,13 @@ Two forms are provided: the one-shot predicates (:func:`gossip_complete`,
 :func:`missing_pairs`) that rescan the matrix, and the incremental
 :class:`CompletionTracker` that protocols keep on the hot path.  The tracker
 recounts only the receiver rows a round actually touched — fed with the
-(possibly duplicated) receiver multiset the knowledge-matrix batch kernels
-return — and its per-row recount dispatches through the active
-:mod:`repro.engine.backends` backend, so it is sharded across the worker
-pool together with the rest of the round whenever the threaded backend is
-active.
+(possibly duplicated) receiver multiset the knowledge-storage batch kernels
+return — and its per-row recount delegates to
+:meth:`~repro.engine.knowledge.KnowledgeStorage.count_missing`, so every
+storage layout answers it natively (dense rows dispatch through the active
+:mod:`repro.engine.backends` backend, frontier rows are counted from their
+active word set, paged/sparse layouts count block-locally) without this
+module ever touching raw row storage.
 """
 
 from __future__ import annotations
@@ -23,8 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..engine import backends
-from ..engine.knowledge import WORD_BITS, KnowledgeMatrix
+from ..engine.knowledge import WORD_BITS, KnowledgeStorage
 
 __all__ = [
     "CompletionTracker",
@@ -34,7 +35,7 @@ __all__ = [
 ]
 
 
-def alive_message_mask(knowledge: KnowledgeMatrix, alive_nodes: np.ndarray) -> np.ndarray:
+def alive_message_mask(knowledge: KnowledgeStorage, alive_nodes: np.ndarray) -> np.ndarray:
     """Packed bitset row with one bit set per alive node's original message."""
     mask = np.zeros(knowledge.words, dtype=np.uint64)
     alive_nodes = np.asarray(alive_nodes, dtype=np.int64)
@@ -49,7 +50,7 @@ def alive_message_mask(knowledge: KnowledgeMatrix, alive_nodes: np.ndarray) -> n
 
 
 def gossip_complete(
-    knowledge: KnowledgeMatrix, alive_nodes: Optional[np.ndarray] = None
+    knowledge: KnowledgeStorage, alive_nodes: Optional[np.ndarray] = None
 ) -> bool:
     """Whether gossiping has completed.
 
@@ -65,8 +66,7 @@ def gossip_complete(
         return knowledge.is_complete()
     alive_nodes = np.asarray(alive_nodes, dtype=np.int64)
     mask = alive_message_mask(knowledge, alive_nodes)
-    rows = knowledge.data[alive_nodes]
-    return bool(np.all((rows & mask) == mask))
+    return not knowledge.count_missing(mask, alive_nodes).any()
 
 
 class CompletionTracker:
@@ -100,7 +100,7 @@ class CompletionTracker:
     __slots__ = ("knowledge", "mask", "deficits", "incomplete", "_complete", "_relevant")
 
     def __init__(
-        self, knowledge: KnowledgeMatrix, alive_nodes: Optional[np.ndarray] = None
+        self, knowledge: KnowledgeStorage, alive_nodes: Optional[np.ndarray] = None
     ) -> None:
         self.knowledge = knowledge
         if alive_nodes is None or alive_nodes.size == knowledge.n_nodes:
@@ -153,15 +153,15 @@ class CompletionTracker:
             self.incomplete = int(np.count_nonzero(self.deficits))
 
     def _recount(self, rows: np.ndarray) -> np.ndarray:
-        """Missing-bit counts (``popcount(mask & ~row)``) for the given rows."""
-        backend = backends.active()
-        if backend.use_compiled():
-            # Fused mask-and-popcount over the listed rows, no gather
-            # (sharded over the listed rows on the threaded backend).
-            return backend.recount_deficits(self.knowledge.data, self.mask, rows)
-        return np.bitwise_count(
-            self.mask[None, :] & ~self.knowledge.data[rows]
-        ).sum(axis=1, dtype=np.int64)
+        """Missing-bit counts (``popcount(mask & ~row)``) for the given rows.
+
+        Delegates to the storage layout's native counter: dense layouts run
+        the fused mask-and-popcount backend kernel (sharded on the threaded
+        backend), frontier rows count from their active word set, and the
+        paged/sparse layouts count block-locally without materializing rows.
+        All paths are pinned bit-identical to the plain masked scan.
+        """
+        return self.knowledge.count_missing(self.mask, rows)
 
     @property
     def complete_rows(self) -> np.ndarray:
@@ -198,13 +198,11 @@ class CompletionTracker:
 
 
 def missing_pairs(
-    knowledge: KnowledgeMatrix, alive_nodes: Optional[np.ndarray] = None
+    knowledge: KnowledgeStorage, alive_nodes: Optional[np.ndarray] = None
 ) -> int:
     """Number of (alive node, alive message) pairs still missing."""
     if alive_nodes is None:
         alive_nodes = np.arange(knowledge.n_nodes, dtype=np.int64)
     alive_nodes = np.asarray(alive_nodes, dtype=np.int64)
     mask = alive_message_mask(knowledge, alive_nodes)
-    rows = knowledge.data[alive_nodes]
-    missing = np.bitwise_count(mask[None, :] & ~rows).sum()
-    return int(missing)
+    return int(knowledge.count_missing(mask, alive_nodes).sum())

@@ -31,8 +31,7 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
-from ..engine import backends
-from ..engine.knowledge import KnowledgeMatrix
+from ..engine.knowledge import KnowledgeStorage
 from ..engine.metrics import TransmissionLedger
 from ..graphs.adjacency import Adjacency
 
@@ -134,7 +133,7 @@ class WalkPool:
         self._transit_ids = np.concatenate([self._transit_ids, walk_ids])
         self._transit_dests = np.concatenate([self._transit_dests, destinations])
 
-    def deliver(self, knowledge: KnowledgeMatrix) -> None:
+    def deliver(self, knowledge: KnowledgeStorage) -> None:
         """Deliver all in-transit walks to their destinations.
 
         For every delivered walk ``w`` arriving at node ``v`` (and still under
@@ -146,9 +145,10 @@ class WalkPool:
 
         All arrivals of one call are synchronous: each walk merges with the
         node's start-of-delivery knowledge, and the node accumulates the union
-        of every arriving payload.  Arrivals are grouped by destination with a
-        stable sort, so the node-side union is one ``bitwise_or.reduceat``
-        segment reduction and each destination row is written exactly once.
+        of every arriving payload.  The destination rows are gathered (copied)
+        before any write, then the payload pool is scattered into storage via
+        :meth:`~repro.engine.knowledge.KnowledgeStorage.scatter_rows` — the
+        same snapshot-read / live-write discipline on every storage layout.
         """
         walk_ids = self._transit_ids
         dests = self._transit_dests
@@ -167,37 +167,14 @@ class WalkPool:
                 dests = dests[~over]
         if walk_ids.size == 0:
             return
-        backend = backends.active()
-        if backend.use_compiled():
-            # Gather (copy) the destination rows first: the start-of-delivery
-            # snapshot every arriving walk merges with.  Payload rows are
-            # disjoint storage from the knowledge matrix, so the node-side
-            # union is one order-independent compiled scatter (no sort
-            # needed), and the walk-side union reads the pre-delivery rows.
-            node_rows = knowledge.data[dests]
-            backend.scatter_or(
-                knowledge.data,
-                self.payloads,
-                np.ascontiguousarray(walk_ids),
-                np.ascontiguousarray(dests),
-            )
-            self.payloads[walk_ids] |= node_rows
-        else:
-            order = np.argsort(dests, kind="stable")
-            w_sorted = walk_ids[order]
-            d_sorted = dests[order]
-            boundaries = np.flatnonzero(np.r_[True, d_sorted[1:] != d_sorted[:-1]])
-            unique_dests = d_sorted[boundaries]
-            node_rows = knowledge.data[unique_dests]
-            merged = np.bitwise_or.reduceat(
-                self.payloads[w_sorted], boundaries, axis=0
-            )
-            knowledge.data[unique_dests] |= merged
-            segment_sizes = np.diff(np.r_[boundaries, d_sorted.size])
-            self.payloads[w_sorted] |= np.repeat(node_rows, segment_sizes, axis=0)
-        # The rows were mutated through ``knowledge.data`` directly; tell the
-        # matrix so the frontier bookkeeping stays consistent.
-        knowledge.notify_rows_written(dests)
+        # Gather (copy) the destination rows first: the start-of-delivery
+        # snapshot every arriving walk merges with.  Payload rows are
+        # disjoint storage from the knowledge state, so the node-side union
+        # is one order-independent scatter (OR is commutative over duplicate
+        # destinations), and the walk-side union reads the pre-delivery rows.
+        node_rows = knowledge.rows(dests)
+        knowledge.scatter_rows(self.payloads, walk_ids, dests)
+        self.payloads[walk_ids] |= node_rows
         # Enqueue in arrival order (FIFO per destination).
         self._host[walk_ids] = dests
         self._seq[walk_ids] = self._next_seq + np.arange(walk_ids.size)
@@ -268,7 +245,7 @@ class WalkPool:
 
 def start_walks(
     graph: Adjacency,
-    knowledge: KnowledgeMatrix,
+    knowledge: KnowledgeStorage,
     probability: float,
     move_cap: int,
     rng: np.random.Generator,
@@ -302,7 +279,7 @@ def start_walks(
         ledger.record_pushes(starters)
     starters_ok = starters[ok]
     destinations_ok = destinations[ok]
-    payloads = knowledge.data[starters_ok]
+    payloads = knowledge.rows(starters_ok)
     pool = WalkPool(payloads, move_cap)
     pool.send_many(np.arange(destinations_ok.size, dtype=np.int64), destinations_ok)
     return pool

@@ -2,7 +2,9 @@
 
 This package provides the building blocks shared by every protocol in the
 library: deterministic randomness management (:mod:`repro.engine.rng`), packed
-bitset knowledge tracking (:mod:`repro.engine.knowledge`), the kernel backend
+bitset knowledge tracking (:mod:`repro.engine.knowledge`), the pluggable
+knowledge-storage layouts and their selection registry
+(:mod:`repro.engine.layouts`), the kernel backend
 registry that selects between NumPy, serial-C and threaded-C execution
 (:mod:`repro.engine.backends`), per-step channel bookkeeping
 (:mod:`repro.engine.channels`), communication-cost accounting
@@ -31,10 +33,14 @@ from .failures import (
 from .knowledge import (
     FrontierKnowledge,
     KnowledgeMatrix,
+    KnowledgeStorage,
     SingleMessageState,
     WORD_BITS,
     adaptive_knowledge,
+    dense_knowledge,
 )
+from . import layouts
+from .layouts import PagedKnowledge, SparseKnowledge
 from .metrics import MessageAccounting, PhaseTotals, TransmissionLedger
 from .rng import RandomState, derive_seed, ensure_rng, make_rng, spawn_rngs
 from .trace import RoundRecord, SpreadingTrace
@@ -56,9 +62,14 @@ __all__ = [
     "sample_uniform_failures",
     "FrontierKnowledge",
     "KnowledgeMatrix",
+    "KnowledgeStorage",
+    "PagedKnowledge",
+    "SparseKnowledge",
     "SingleMessageState",
     "WORD_BITS",
     "adaptive_knowledge",
+    "dense_knowledge",
+    "layouts",
     "MessageAccounting",
     "PhaseTotals",
     "TransmissionLedger",

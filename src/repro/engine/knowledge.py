@@ -21,11 +21,16 @@ across a worker pool, dispatched through the active
 a layered NumPy scatter; all paths are pinned bit-identical by
 ``tests/engine/test_kernel_equivalence.py``.
 
-Three classes are provided:
+Storage is *pluggable*.  :class:`KnowledgeStorage` defines the interface
+every layout implements — snapshot-read row gathers, order-independent
+scatter-ORs, the two batched round entry points and the aggregate queries —
+and protocols only ever talk to that interface.  This module provides the
+dense family:
 
 ``KnowledgeMatrix``
-    The full gossiping state: one bitset row per node over ``n_messages``
-    message slots, updated through the dense batched kernels.
+    The full gossiping state as one contiguous ``n_nodes x words`` matrix,
+    updated through the dense batched kernels.  The default layout whenever
+    it fits in memory.
 
 ``FrontierKnowledge``
     A :class:`KnowledgeMatrix` that additionally tracks, per row, the set of
@@ -41,15 +46,26 @@ Three classes are provided:
     A light-weight informed/uninformed boolean vector used by the
     single-message *broadcasting* baselines in :mod:`repro.broadcast`.
 
-Protocols construct their state through :func:`adaptive_knowledge`, which
-returns a :class:`FrontierKnowledge` unless ``REPRO_DISABLE_FRONTIER=1`` is
-set in the environment.
+The block-paged and lifetime-sparse layouts that break the dense memory wall
+live in :mod:`repro.engine.layouts` together with the layout registry
+(``REPRO_KNOWLEDGE_LAYOUT`` / :func:`repro.engine.layouts.use`).  Protocols
+construct their state through :func:`adaptive_knowledge`, which delegates to
+the registry's memory model; :func:`dense_knowledge` keeps the historical
+frontier-or-plain choice for callers that explicitly want the dense family.
+
+No caller outside this package may hold a raw ``data`` reference: the
+swap-form kernels exchange the underlying buffer, and the paged/sparse
+layouts do not have a resident dense matrix at all.  Use ``rows`` /
+``scatter_rows`` / ``count_missing`` and friends instead; the read-only
+``data`` property on non-dense layouts materializes a dense copy for tests
+and debugging only.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -58,9 +74,11 @@ from . import backends
 __all__ = [
     "FrontierKnowledge",
     "KnowledgeMatrix",
+    "KnowledgeStorage",
     "SingleMessageState",
     "WORD_BITS",
     "adaptive_knowledge",
+    "dense_knowledge",
 ]
 
 #: Number of bits per storage word.
@@ -83,7 +101,437 @@ def _n_words(n_bits: int) -> int:
 _SWAP_MIN_WORK = 1 << 17
 
 
-class KnowledgeMatrix:
+def _layered_scatter(
+    data: np.ndarray,
+    source: np.ndarray,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+) -> np.ndarray:
+    """OR ``source[senders[i]]`` into ``data[receivers[i]]`` for all ``i``.
+
+    The pure-NumPy duplicate-receiver resolution shared by every layout:
+    the batch is sorted by receiver and resolved in *layers* — layer ``k``
+    holds each receiver's ``k``-th incoming transmission, so receivers are
+    unique within a layer and each layer is one vectorised gather-OR-scatter.
+    The number of layers is the maximum in-degree (``O(log n / log log n)``
+    w.h.p.), not the number of transmissions.  This outperforms
+    ``bitwise_or.reduceat``, whose generic inner loop is an order of
+    magnitude slower than the fancy-indexing fast path.
+
+    ``source`` must be snapshot storage disjoint from ``data``.  Returns the
+    sorted unique receivers written.
+    """
+    order = np.argsort(receivers, kind="stable")
+    r_sorted = receivers[order]
+    s_sorted = senders[order]
+    first = np.r_[True, r_sorted[1:] != r_sorted[:-1]]
+    positions = np.arange(r_sorted.size)
+    starts = positions[first]
+    rank = positions - np.repeat(starts, np.diff(np.r_[starts, r_sorted.size]))
+    for k in range(int(rank.max()) + 1):
+        layer = rank == k
+        data[r_sorted[layer]] |= source[s_sorted[layer]]
+    return r_sorted[starts]
+
+
+class KnowledgeStorage:
+    """Interface and shared logic for pluggable knowledge-storage layouts.
+
+    Concrete layouts — the dense :class:`KnowledgeMatrix` family here, the
+    block-paged and lifetime-sparse layouts in :mod:`repro.engine.layouts` —
+    implement the storage primitives (:meth:`rows`, :meth:`iter_blocks`,
+    :meth:`scatter_rows`, :meth:`assign_rows`, the two round entry points
+    and the point mutators); everything else — aggregate queries, equality,
+    fingerprints, the saturation filter — is derived here, so all layouts
+    share one behaviour by construction.
+
+    The contract every layout must honour:
+
+    * **Snapshot rounds.**  ``apply_transmissions`` / ``apply_exchange``
+      evaluate every transmission of a batch against the same start-of-step
+      state: all gathers strictly precede all writes.
+    * **Order-independent merges.**  Duplicate receivers within a batch are
+      resolved by OR, which commutes — so any gather-all-then-write-all
+      schedule yields the same bits.
+    * **Bit-identity.**  Given equal seeds, trajectories are bit-identical
+      across every layout (and every kernel backend) at every size where
+      the dense layout fits.  ``tests/engine/test_layouts.py`` pins this.
+
+    Protocols and analysis code must go through this interface; holding a
+    raw ``data`` reference is not allowed (the swap-form kernels exchange
+    the underlying buffer, and non-dense layouts have no resident matrix).
+    """
+
+    __slots__ = ("n_nodes", "n_messages", "words")
+
+    #: Registry tag of the layout family (``dense`` / ``paged`` / ``sparse``).
+    layout = "dense"
+
+    def __init__(self, n_nodes: int, n_messages: Optional[int] = None) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if n_messages is None:
+            n_messages = n_nodes
+        if n_messages <= 0:
+            raise ValueError(f"n_messages must be positive, got {n_messages}")
+        self.n_nodes = int(n_nodes)
+        self.n_messages = int(n_messages)
+        self.words = _n_words(self.n_messages)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, n_nodes: int, n_messages: Optional[int] = None) -> "KnowledgeStorage":
+        """A state in which no node knows any message."""
+        return cls(n_nodes, n_messages, initialize_own=False)
+
+    def copy(self) -> "KnowledgeStorage":
+        """Deep copy of the knowledge state."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Storage primitives (implemented per layout)
+    # ------------------------------------------------------------------ #
+    def rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Snapshot copies of the bitset rows of ``nodes`` (gather).
+
+        The result is a fresh dense ``(len(nodes), words)`` array owned by
+        the caller — safe to hold across subsequent bulk updates.
+        """
+        raise NotImplementedError
+
+    def row(self, node: int) -> np.ndarray:
+        """``node``'s bitset row.
+
+        Dense layouts return a live view valid only until the next bulk
+        update; non-dense layouts return a materialized copy.  Do not hold
+        the result across :meth:`apply_transmissions` /
+        :meth:`apply_exchange` calls.
+        """
+        raise NotImplementedError
+
+    def iter_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(row_start, block)`` dense blocks covering all rows in order.
+
+        Blocks are consecutive, non-overlapping row ranges; concatenated they
+        form the full dense matrix.  Dense layouts yield views (read-only by
+        convention); non-dense layouts may yield materialized copies.
+        """
+        raise NotImplementedError
+
+    def scatter_rows(
+        self, source: np.ndarray, src_idx: np.ndarray, receivers: np.ndarray
+    ) -> None:
+        """OR ``source[src_idx[i]]`` into row ``receivers[i]`` for all ``i``.
+
+        ``source`` is external row storage (never this object's own rows),
+        so the scatter is order-independent under duplicate receivers.  This
+        is the interface used by code that merges externally-staged rows —
+        e.g. random-walk payload delivery — replacing direct ``data``
+        mutation.
+        """
+        raise NotImplementedError
+
+    def assign_rows(self, nodes: np.ndarray, row: np.ndarray) -> None:
+        """Overwrite each row in ``nodes`` with the packed row ``row``."""
+        raise NotImplementedError
+
+    def apply_transmissions(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        snapshot: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply a batch of directed transmissions ``senders[i] -> receivers[i]``."""
+        raise NotImplementedError
+
+    def apply_exchange(
+        self,
+        callers: np.ndarray,
+        targets: np.ndarray,
+        *,
+        complete: Optional[np.ndarray] = None,
+        complete_row: Optional[np.ndarray] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Apply one synchronous push–pull round: ``callers[i] <-> targets[i]``."""
+        raise NotImplementedError
+
+    def add(self, node: int, message: int) -> None:
+        """Mark ``node`` as knowing ``message``."""
+        raise NotImplementedError
+
+    def add_many(self, nodes: np.ndarray, message: int) -> None:
+        """Mark every entry of ``nodes`` as knowing ``message``."""
+        raise NotImplementedError
+
+    def union_into(self, dst: int, src_row: np.ndarray) -> None:
+        """OR an external bitset row into ``dst``'s knowledge."""
+        raise NotImplementedError
+
+    def union_from_node(
+        self, dst: int, src: int, snapshot: Optional[np.ndarray] = None
+    ) -> None:
+        """Make ``dst`` learn everything ``src`` knows."""
+        raise NotImplementedError
+
+    def storage_nbytes(self) -> int:
+        """Bytes of resident storage (rows plus layout bookkeeping)."""
+        raise NotImplementedError
+
+    def notify_rows_written(self, rows: np.ndarray) -> None:
+        """Tell the storage that ``rows`` were mutated outside the helpers.
+
+        Layouts with bookkeeping (the frontier) override this; a no-op for
+        plain storage.  New code should prefer :meth:`scatter_rows`, which
+        keeps bookkeeping consistent without a separate notification.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived: dense materialization
+    # ------------------------------------------------------------------ #
+    def _materialize(self) -> np.ndarray:
+        """The full dense matrix, assembled block by block."""
+        out = np.empty((self.n_nodes, self.words), dtype=_WORD_DTYPE)
+        for start, block in self.iter_blocks():
+            out[start : start + block.shape[0]] = block
+        return out
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only dense materialization of the state.
+
+        For non-dense layouts this allocates the full ``n_nodes x words``
+        matrix — intended for tests and debugging, never for hot paths.
+        (:class:`KnowledgeMatrix` shadows this with its resident buffer.)
+        """
+        out = self._materialize()
+        out.setflags(write=False)
+        return out
+
+    def snapshot(self) -> np.ndarray:
+        """A dense copy of the word matrix (used for synchronous-step reads)."""
+        return self._materialize()
+
+    # ------------------------------------------------------------------ #
+    # Derived: element access
+    # ------------------------------------------------------------------ #
+    def _bit(self, message: int) -> np.uint64:
+        return np.uint64(1) << np.uint64(message % WORD_BITS)
+
+    def _check_message(self, message: int) -> None:
+        if not 0 <= message < self.n_messages:
+            raise IndexError(
+                f"message {message} out of range [0, {self.n_messages})"
+            )
+
+    def knows(self, node: int, message: int) -> bool:
+        """Whether ``node`` currently knows ``message``."""
+        self._check_message(message)
+        word = self.row(node)[message // WORD_BITS]
+        return bool(word & self._bit(message))
+
+    def known_messages(self, node: int) -> np.ndarray:
+        """Sorted array of message identifiers known by ``node``."""
+        bits = np.unpackbits(
+            np.ascontiguousarray(self.row(node)).view(np.uint8), bitorder="little"
+        )
+        return np.flatnonzero(bits[: self.n_messages])
+
+    def missing_messages_at(self, node: int) -> np.ndarray:
+        """Message identifiers *not* known by ``node``."""
+        known = np.unpackbits(
+            np.ascontiguousarray(self.row(node)).view(np.uint8), bitorder="little"
+        )
+        return np.flatnonzero(~known[: self.n_messages].astype(bool))
+
+    # ------------------------------------------------------------------ #
+    # Derived: aggregate queries (stream over blocks)
+    # ------------------------------------------------------------------ #
+    def counts(self) -> np.ndarray:
+        """Number of messages known by each node (length ``n_nodes``)."""
+        out = np.empty(self.n_nodes, dtype=np.int64)
+        for start, block in self.iter_blocks():
+            out[start : start + block.shape[0]] = (
+                np.bitwise_count(block).sum(axis=1).astype(np.int64)
+            )
+        return out
+
+    def nodes_knowing(self, message: int) -> np.ndarray:
+        """Array of node identifiers that know ``message``."""
+        self._check_message(message)
+        word = message // WORD_BITS
+        bit = self._bit(message)
+        hits = [
+            start + np.flatnonzero((block[:, word] & bit) != 0)
+            for start, block in self.iter_blocks()
+        ]
+        return np.concatenate(hits)
+
+    def num_nodes_knowing(self, message: int) -> int:
+        """Number of nodes that know ``message``."""
+        return int(self.nodes_knowing(message).size)
+
+    def informed_counts_per_message(self) -> np.ndarray:
+        """For every message, the number of nodes knowing it."""
+        totals = np.zeros(self.n_messages, dtype=np.int64)
+        for _start, block in self.iter_blocks():
+            bits = np.unpackbits(
+                np.ascontiguousarray(block).view(np.uint8), axis=1, bitorder="little"
+            )[:, : self.n_messages]
+            totals += bits.sum(axis=0, dtype=np.int64)
+        return totals
+
+    def fully_informed_nodes(self) -> np.ndarray:
+        """Boolean mask of nodes that know every message."""
+        return self.counts() == self.n_messages
+
+    def is_complete(self) -> bool:
+        """True when every node knows every message (gossiping finished)."""
+        full_word = np.uint64(0xFFFFFFFFFFFFFFFF)
+        # Check all full words first (cheap early exit).
+        full_words = self.words - 1 if self.n_messages % WORD_BITS else self.words
+        rem = self.n_messages % WORD_BITS
+        tail_mask = (np.uint64(1) << np.uint64(rem)) - np.uint64(1) if rem else None
+        for _start, block in self.iter_blocks():
+            if full_words and not np.all(block[:, :full_words] == full_word):
+                return False
+            if rem and not np.all(block[:, -1] == tail_mask):
+                return False
+        return True
+
+    def total_known(self) -> int:
+        """Total number of (node, message) pairs currently known."""
+        total = 0
+        for _start, block in self.iter_blocks():
+            total += int(np.bitwise_count(block).sum())
+        return total
+
+    def coverage(self) -> float:
+        """Fraction of the ``n_nodes * n_messages`` pairs that are known."""
+        return self.total_known() / float(self.n_nodes * self.n_messages)
+
+    def count_missing(self, mask: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Per-row deficits: ``popcount(mask & ~row)`` for each row in ``rows``.
+
+        ``mask`` is the completion target (usually :meth:`full_row_mask`).
+        This is the recount primitive behind
+        :class:`~repro.core.completion.CompletionTracker`; layouts override
+        it with representation-aware implementations that are pinned
+        bit-identical to this scan.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return (
+            np.bitwise_count(mask[None, :] & ~self.rows(rows))
+            .sum(axis=1)
+            .astype(np.int64)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived: row constructors
+    # ------------------------------------------------------------------ #
+    def zero_row(self) -> np.ndarray:
+        """A fresh all-zero row compatible with this matrix."""
+        return np.zeros(self.words, dtype=_WORD_DTYPE)
+
+    def full_row_mask(self) -> np.ndarray:
+        """Packed row with every valid message bit set (the completion target)."""
+        mask = np.full(self.words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=_WORD_DTYPE)
+        rem = self.n_messages % WORD_BITS
+        if rem:
+            mask[-1] = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
+        return mask
+
+    def row_with(self, messages: Iterable[int]) -> np.ndarray:
+        """A fresh row with exactly ``messages`` set."""
+        row = self.zero_row()
+        for m in messages:
+            self._check_message(m)
+            row[m // WORD_BITS] |= self._bit(m)
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Derived: the saturation filter (shared by every layout's exchange)
+    # ------------------------------------------------------------------ #
+    def _filter_exchange(
+        self,
+        callers: np.ndarray,
+        targets: np.ndarray,
+        complete: Optional[np.ndarray],
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Split an exchange round into push/pull edges plus direct promotions.
+
+        Returns ``(push_s, push_r, pull_s, pull_r, promoted)``.  When
+        ``complete`` is given (a boolean saturated-row mask), transmissions
+        into saturated rows are dropped and receivers fed by a saturated
+        sender are returned in ``promoted`` for direct assignment of the
+        completion row — bit-exact provided every participating row is a
+        subset of the completion row.
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        promoted = empty
+        if complete is None:
+            return callers, targets, targets, callers, promoted
+        keep_push = ~complete[targets]
+        keep_pull = ~complete[callers]
+        sat_push = keep_push & complete[callers]
+        sat_pull = keep_pull & complete[targets]
+        if sat_push.any() or sat_pull.any():
+            promoted = np.unique(
+                np.concatenate([targets[sat_push], callers[sat_pull]])
+            )
+            is_promoted = np.zeros(self.n_nodes, dtype=bool)
+            is_promoted[promoted] = True
+            keep_push &= ~is_promoted[targets]
+            keep_pull &= ~is_promoted[callers]
+        return (
+            callers[keep_push],
+            targets[keep_push],
+            targets[keep_pull],
+            callers[keep_pull],
+            promoted,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived: identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """SHA-256 over the dense row-major byte stream (layout-independent).
+
+        Two states with equal bits have equal fingerprints regardless of
+        layout or block partition, so this is the cheap cross-layout
+        bit-identity check at sizes where holding two dense matrices for
+        ``__eq__`` would be wasteful.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.n_nodes}:{self.n_messages}:".encode())
+        for _start, block in self.iter_blocks():
+            digest.update(np.ascontiguousarray(block).data)
+        return digest.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnowledgeStorage):
+            return NotImplemented
+        if self.n_nodes != other.n_nodes or self.n_messages != other.n_messages:
+            return False
+        for start, block in self.iter_blocks():
+            idx = np.arange(start, start + block.shape[0], dtype=np.int64)
+            if not np.array_equal(block, other.rows(idx)):
+                return False
+        return True
+
+    __hash__ = None  # mutable container
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n_nodes={self.n_nodes}, "
+            f"n_messages={self.n_messages}, coverage={self.coverage():.3f})"
+        )
+
+
+class KnowledgeMatrix(KnowledgeStorage):
     """Which original messages each node currently knows, as packed bitsets.
 
     Parameters
@@ -107,15 +555,9 @@ class KnowledgeMatrix:
     reading start-of-step state while writing end-of-step state.
     """
 
-    __slots__ = (
-        "n_nodes",
-        "n_messages",
-        "words",
-        "data",
-        "_scratch",
-        "_csr_off",
-        "_csr_adj",
-    )
+    __slots__ = ("data", "_scratch", "_csr_off", "_csr_adj")
+
+    layout = "dense"
 
     def __init__(
         self,
@@ -124,15 +566,7 @@ class KnowledgeMatrix:
         *,
         initialize_own: bool = True,
     ) -> None:
-        if n_nodes <= 0:
-            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
-        if n_messages is None:
-            n_messages = n_nodes
-        if n_messages <= 0:
-            raise ValueError(f"n_messages must be positive, got {n_messages}")
-        self.n_nodes = int(n_nodes)
-        self.n_messages = int(n_messages)
-        self.words = _n_words(self.n_messages)
+        super().__init__(n_nodes, n_messages)
         self.data = np.zeros((self.n_nodes, self.words), dtype=_WORD_DTYPE)
         #: Reusable spare buffer for the swap-form round kernels and for
         #: start-of-step snapshots (lazily built).
@@ -151,11 +585,6 @@ class KnowledgeMatrix:
     # ------------------------------------------------------------------ #
     # Constructors and copies
     # ------------------------------------------------------------------ #
-    @classmethod
-    def empty(cls, n_nodes: int, n_messages: Optional[int] = None) -> "KnowledgeMatrix":
-        """A matrix in which no node knows any message."""
-        return cls(n_nodes, n_messages, initialize_own=False)
-
     def copy(self) -> "KnowledgeMatrix":
         """Deep copy of the knowledge state."""
         clone = KnowledgeMatrix.empty(self.n_nodes, self.n_messages)
@@ -167,11 +596,45 @@ class KnowledgeMatrix:
         return self.data.copy()
 
     # ------------------------------------------------------------------ #
-    # Element access
+    # Storage primitives
     # ------------------------------------------------------------------ #
-    def _bit(self, message: int) -> np.uint64:
-        return np.uint64(1) << np.uint64(message % WORD_BITS)
+    def rows(self, nodes: np.ndarray) -> np.ndarray:
+        return self.data[np.asarray(nodes, dtype=np.int64)]
 
+    def row(self, node: int) -> np.ndarray:
+        """Live view of ``node``'s bitset row.
+
+        Valid only until the next bulk update: the swap-form round kernels
+        exchange the underlying buffer, so do not hold this view across
+        :meth:`apply_transmissions` / :meth:`apply_exchange` calls.
+        """
+        return self.data[node]
+
+    def iter_blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        yield 0, self.data
+
+    def scatter_rows(
+        self, source: np.ndarray, src_idx: np.ndarray, receivers: np.ndarray
+    ) -> None:
+        self._scatter_or(
+            source,
+            np.asarray(src_idx, dtype=np.int64),
+            np.asarray(receivers, dtype=np.int64),
+        )
+
+    def assign_rows(self, nodes: np.ndarray, row: np.ndarray) -> None:
+        self.data[np.asarray(nodes, dtype=np.int64)] = row
+
+    def storage_nbytes(self) -> int:
+        total = self.data.nbytes
+        for buf in (self._scratch, self._csr_off, self._csr_adj):
+            if buf is not None:
+                total += buf.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Element mutators
+    # ------------------------------------------------------------------ #
     def add(self, node: int, message: int) -> None:
         """Mark ``node`` as knowing ``message``."""
         self._check_message(message)
@@ -184,31 +647,13 @@ class KnowledgeMatrix:
         if nodes.size:
             self.data[nodes, message // WORD_BITS] |= self._bit(message)
 
-    def knows(self, node: int, message: int) -> bool:
-        """Whether ``node`` currently knows ``message``."""
-        self._check_message(message)
-        word = self.data[node, message // WORD_BITS]
-        return bool(word & self._bit(message))
-
-    def known_messages(self, node: int) -> np.ndarray:
-        """Sorted array of message identifiers known by ``node``."""
-        bits = np.unpackbits(self.data[node].view(np.uint8), bitorder="little")
-        return np.flatnonzero(bits[: self.n_messages])
-
-    def _check_message(self, message: int) -> None:
-        if not 0 <= message < self.n_messages:
-            raise IndexError(
-                f"message {message} out of range [0, {self.n_messages})"
-            )
-
-    # ------------------------------------------------------------------ #
-    # Bulk updates (the hot path)
-    # ------------------------------------------------------------------ #
     def union_into(self, dst: int, src_row: np.ndarray) -> None:
         """OR an external bitset row into ``dst``'s knowledge."""
         self.data[dst] |= src_row
 
-    def union_from_node(self, dst: int, src: int, snapshot: Optional[np.ndarray] = None) -> None:
+    def union_from_node(
+        self, dst: int, src: int, snapshot: Optional[np.ndarray] = None
+    ) -> None:
         """Make ``dst`` learn everything ``src`` knows.
 
         If ``snapshot`` is given, ``src``'s knowledge is read from it (the
@@ -217,6 +662,9 @@ class KnowledgeMatrix:
         source = self.data if snapshot is None else snapshot
         self.data[dst] |= source[src]
 
+    # ------------------------------------------------------------------ #
+    # Bulk updates (the hot path)
+    # ------------------------------------------------------------------ #
     def apply_transmissions(
         self,
         senders: np.ndarray,
@@ -320,14 +768,9 @@ class KnowledgeMatrix:
     ) -> np.ndarray:
         """OR ``source[senders[i]]`` into row ``receivers[i]`` for all ``i``.
 
-        Receivers may repeat; the batch is sorted by receiver and resolved in
-        *layers*: layer ``k`` holds each receiver's ``k``-th incoming
-        transmission, so receivers are unique within a layer and each layer
-        is one vectorised gather-OR-scatter.  The number of layers is the
-        maximum in-degree (``O(log n / log log n)`` w.h.p.), not the number
-        of transmissions.  This outperforms ``bitwise_or.reduceat``, whose
-        generic inner loop is an order of magnitude slower than the
-        fancy-indexing fast path.
+        Receivers may repeat; duplicates are resolved either by an
+        order-independent compiled pass or by the shared layered NumPy
+        scatter (:func:`_layered_scatter`).
 
         Returns the receivers whose rows were written (possibly with
         duplicates on the compiled path; sorted unique on the NumPy path).
@@ -346,18 +789,7 @@ class KnowledgeMatrix:
                 np.ascontiguousarray(receivers),
             )
             return receivers
-        order = np.argsort(receivers, kind="stable")
-        r_sorted = receivers[order]
-        s_sorted = senders[order]
-        first = np.r_[True, r_sorted[1:] != r_sorted[:-1]]
-        positions = np.arange(r_sorted.size)
-        starts = positions[first]
-        rank = positions - np.repeat(starts, np.diff(np.r_[starts, r_sorted.size]))
-        data = self.data
-        for k in range(int(rank.max()) + 1):
-            layer = rank == k
-            data[r_sorted[layer]] |= source[s_sorted[layer]]
-        return r_sorted[starts]
+        return _layered_scatter(self.data, source, senders, receivers)
 
     def apply_exchange(
         self,
@@ -422,25 +854,9 @@ class KnowledgeMatrix:
             )
             self.data, self._scratch = self._scratch, self.data
             return np.concatenate([callers, targets]), empty
-        promoted = empty
-        if complete is not None:
-            keep_push = ~complete[targets]
-            keep_pull = ~complete[callers]
-            sat_push = keep_push & complete[callers]
-            sat_pull = keep_pull & complete[targets]
-            if sat_push.any() or sat_pull.any():
-                promoted = np.unique(
-                    np.concatenate([targets[sat_push], callers[sat_pull]])
-                )
-                is_promoted = np.zeros(self.n_nodes, dtype=bool)
-                is_promoted[promoted] = True
-                keep_push &= ~is_promoted[targets]
-                keep_pull &= ~is_promoted[callers]
-            push_s, push_r = callers[keep_push], targets[keep_push]
-            pull_s, pull_r = targets[keep_pull], callers[keep_pull]
-        else:
-            push_s, push_r = callers, targets
-            pull_s, pull_r = targets, callers
+        push_s, push_r, pull_s, pull_r, promoted = self._filter_exchange(
+            callers, targets, complete
+        )
         touched = empty
         if push_r.size or pull_r.size:
             n_push = push_s.size
@@ -468,123 +884,37 @@ class KnowledgeMatrix:
                 else:
                     touched = pull_r
         if promoted.size:
-            self.data[promoted] = complete_row
+            self.assign_rows(promoted, complete_row)
         return touched, promoted
 
     # ------------------------------------------------------------------ #
-    # Aggregate queries
+    # Queries with a dense fast path
     # ------------------------------------------------------------------ #
-    def counts(self) -> np.ndarray:
-        """Number of messages known by each node (length ``n_nodes``)."""
-        return np.bitwise_count(self.data).sum(axis=1).astype(np.int64)
+    def count_missing(self, mask: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        backend = backends.active()
+        if backend.use_compiled():
+            return backend.recount_deficits(
+                self.data, mask, np.ascontiguousarray(rows)
+            )
+        return (
+            np.bitwise_count(mask[None, :] & ~self.data[rows])
+            .sum(axis=1)
+            .astype(np.int64)
+        )
 
-    def nodes_knowing(self, message: int) -> np.ndarray:
-        """Array of node identifiers that know ``message``."""
-        self._check_message(message)
-        word = message // WORD_BITS
-        mask = (self.data[:, word] & self._bit(message)) != 0
-        return np.flatnonzero(mask)
-
-    def num_nodes_knowing(self, message: int) -> int:
-        """Number of nodes that know ``message``."""
-        return int(self.nodes_knowing(message).size)
-
-    def informed_counts_per_message(self) -> np.ndarray:
-        """For every message, the number of nodes knowing it."""
-        bits = np.unpackbits(
-            self.data.view(np.uint8), axis=1, bitorder="little"
-        )[:, : self.n_messages]
-        return bits.sum(axis=0, dtype=np.int64)
-
-    def fully_informed_nodes(self) -> np.ndarray:
-        """Boolean mask of nodes that know every message."""
-        return self.counts() == self.n_messages
-
-    def is_complete(self) -> bool:
-        """True when every node knows every message (gossiping finished)."""
-        full_word = np.uint64(0xFFFFFFFFFFFFFFFF)
-        # Check all full words first (cheap early exit).
-        full_words = self.words - 1 if self.n_messages % WORD_BITS else self.words
-        if full_words and not np.all(self.data[:, :full_words] == full_word):
-            return False
-        rem = self.n_messages % WORD_BITS
-        if rem:
-            tail_mask = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
-            if not np.all(self.data[:, -1] == tail_mask):
-                return False
-        return True
-
-    def total_known(self) -> int:
-        """Total number of (node, message) pairs currently known."""
-        return int(np.bitwise_count(self.data).sum())
-
-    def coverage(self) -> float:
-        """Fraction of the ``n_nodes * n_messages`` pairs that are known."""
-        return self.total_known() / float(self.n_nodes * self.n_messages)
-
-    def missing_messages_at(self, node: int) -> np.ndarray:
-        """Message identifiers *not* known by ``node``."""
-        known = np.unpackbits(self.data[node].view(np.uint8), bitorder="little")
-        return np.flatnonzero(~known[: self.n_messages].astype(bool))
-
-    # ------------------------------------------------------------------ #
-    # Row-level helpers (used by the random-walk machinery)
-    # ------------------------------------------------------------------ #
-    def row(self, node: int) -> np.ndarray:
-        """Live view of ``node``'s bitset row.
-
-        Valid only until the next bulk update: the swap-form round kernels
-        exchange the underlying buffer, so do not hold this view across
-        :meth:`apply_transmissions` / :meth:`apply_exchange` calls.
-        """
-        return self.data[node]
-
-    def zero_row(self) -> np.ndarray:
-        """A fresh all-zero row compatible with this matrix."""
-        return np.zeros(self.words, dtype=_WORD_DTYPE)
-
-    def full_row_mask(self) -> np.ndarray:
-        """Packed row with every valid message bit set (the completion target)."""
-        mask = np.full(self.words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=_WORD_DTYPE)
-        rem = self.n_messages % WORD_BITS
-        if rem:
-            mask[-1] = (np.uint64(1) << np.uint64(rem)) - np.uint64(1)
-        return mask
-
-    def row_with(self, messages: Iterable[int]) -> np.ndarray:
-        """A fresh row with exactly ``messages`` set."""
-        row = self.zero_row()
-        for m in messages:
-            self._check_message(m)
-            row[m // WORD_BITS] |= self._bit(m)
-        return row
-
-    def notify_rows_written(self, rows: np.ndarray) -> None:
-        """Tell the matrix that ``rows`` were mutated through ``data`` directly.
-
-        Code that bypasses the update helpers and ORs into ``self.data``
-        in place (e.g. the random-walk delivery kernel) must call this so
-        sparsity-aware subclasses can keep their bookkeeping consistent.
-        A no-op for the dense matrix.
-        """
-
-    # ------------------------------------------------------------------ #
-    # Dunder conveniences
-    # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, KnowledgeMatrix):
-            return NotImplemented
-        return (
-            self.n_nodes == other.n_nodes
-            and self.n_messages == other.n_messages
-            and bool(np.array_equal(self.data, other.data))
-        )
+        if isinstance(other, KnowledgeMatrix):
+            return (
+                self.n_nodes == other.n_nodes
+                and self.n_messages == other.n_messages
+                and bool(np.array_equal(self.data, other.data))
+            )
+        return super().__eq__(other)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"KnowledgeMatrix(n_nodes={self.n_nodes}, n_messages={self.n_messages}, "
-            f"coverage={self.coverage():.3f})"
-        )
+    __hash__ = None  # mutable container
 
 
 #: Default fraction of ``transmissions * words`` below which the frontier
@@ -904,9 +1234,58 @@ class FrontierKnowledge(KnowledgeMatrix):
         super().union_from_node(dst, src, snapshot)
         self._dense_rows[dst] = True
 
+    def scatter_rows(
+        self, source: np.ndarray, src_idx: np.ndarray, receivers: np.ndarray
+    ) -> None:
+        super().scatter_rows(source, src_idx, receivers)
+        # External rows carry unknown word sets; the receivers leave the
+        # frontier rather than re-deriving their active words.
+        self._mark_dense(np.asarray(receivers, dtype=np.int64))
+
+    def assign_rows(self, nodes: np.ndarray, row: np.ndarray) -> None:
+        super().assign_rows(nodes, row)
+        self._mark_dense(np.asarray(nodes, dtype=np.int64))
+
     def notify_rows_written(self, rows: np.ndarray) -> None:
         """Direct ``data`` mutations ratchet the written rows to dense."""
         self._dense_rows[rows] = True
+
+    # ------------------------------------------------------------------ #
+    # Frontier-aware recounts
+    # ------------------------------------------------------------------ #
+    def count_missing(self, mask: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Deficits from the active frontier words instead of full-row scans.
+
+        For a frontier row every word outside its active set is zero, so
+        ``popcount(mask & ~row) == popcount(mask) - sum_w popcount(mask[w] &
+        row[w])`` over the row's active words only — exact, not an estimate.
+        Dense-flagged rows fall back to the parent's scan (compiled when
+        available).  Pinned bit-identical to the scan path by
+        ``tests/engine/test_layouts.py``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0 or self._retired:
+            return super().count_missing(mask, rows)
+        dense_sel = self._dense_rows[rows]
+        out = np.empty(rows.size, dtype=np.int64)
+        if dense_sel.any():
+            out[dense_sel] = super().count_missing(mask, rows[dense_sel])
+        frontier_rows = rows[~dense_sel]
+        if frontier_rows.size:
+            total = int(np.bitwise_count(mask).sum())
+            nnz = self._nnz[frontier_rows]
+            pairs = int(nnz.sum())
+            known = np.zeros(frontier_rows.size, dtype=np.int64)
+            if pairs:
+                tx = np.repeat(np.arange(frontier_rows.size, dtype=np.int64), nnz)
+                ends = np.cumsum(nnz)
+                rank = np.arange(pairs, dtype=np.int64) - np.repeat(ends - nnz, nnz)
+                r = frontier_rows[tx]
+                w = self._active_words[r, rank].astype(np.int64)
+                got = np.bitwise_count(self.data[r, w] & mask[w]).astype(np.int64)
+                np.add.at(known, tx, got)
+            out[~dense_sel] = total - known
+        return out
 
     # ------------------------------------------------------------------ #
     # Introspection (used by tests and the benchmark harness)
@@ -915,22 +1294,36 @@ class FrontierKnowledge(KnowledgeMatrix):
         """Fraction of rows still on the frontier (sparse) path."""
         return 1.0 - float(self._dense_rows.mean())
 
+    def storage_nbytes(self) -> int:
+        total = super().storage_nbytes()
+        for buf in (
+            self._nnz,
+            self._active_words,
+            self._word_active,
+            self._dense_rows,
+            self._val_buf,
+            self._lin_buf,
+        ):
+            if buf is not None:
+                total += buf.nbytes
+        return total
+
 
 #: Minimum row width (in 64-bit words) for the frontier representation to
 #: pay for its bookkeeping; narrower matrices always use the dense kernels.
 _FRONTIER_MIN_WORDS = 64
 
 
-def adaptive_knowledge(
+def dense_knowledge(
     n_nodes: int, n_messages: Optional[int] = None
 ) -> KnowledgeMatrix:
-    """The knowledge state protocols should instantiate.
+    """The dense-family knowledge state for a problem size.
 
     Returns a :class:`FrontierKnowledge` (sparse/dense adaptive) for wide
     matrices (``>= 64`` words, i.e. ``n_messages >= 4033``); narrow rows are
     cheap to move whole, so smaller problems stay on the plain dense
     :class:`KnowledgeMatrix`.  Setting ``REPRO_DISABLE_FRONTIER`` in the
-    environment forces the dense matrix at every size.  Both produce
+    environment forces the plain matrix at every size.  Both produce
     bit-identical trajectories; the switch exists for A/B benchmarking and
     equivalence testing.
     """
@@ -940,6 +1333,22 @@ def adaptive_knowledge(
     if words < _FRONTIER_MIN_WORDS:
         return KnowledgeMatrix(n_nodes, n_messages)
     return FrontierKnowledge(n_nodes, n_messages)
+
+
+def adaptive_knowledge(
+    n_nodes: int, n_messages: Optional[int] = None
+) -> KnowledgeStorage:
+    """The knowledge state protocols should instantiate.
+
+    Delegates to the layout registry (:mod:`repro.engine.layouts`): the
+    documented memory model picks dense storage while it fits the budget and
+    the block-paged layout beyond, and ``REPRO_KNOWLEDGE_LAYOUT`` or a
+    per-scope :func:`repro.engine.layouts.use` override forces a specific
+    layout.  All layouts produce bit-identical trajectories.
+    """
+    from . import layouts
+
+    return layouts.make_knowledge(n_nodes, n_messages)
 
 
 class SingleMessageState:

@@ -22,6 +22,7 @@ from .config import (
     ParameterAblationConfig,
     RobustnessConfig,
     RobustnessDetailConfig,
+    ScaleConfig,
     SizeSweepConfig,
 )
 from .density_sweep import run_density_sweep
@@ -40,6 +41,7 @@ from .report import (
     write_report,
 )
 from .runner import ExperimentResult, aggregate_records, make_protocol
+from .scale import SCALE_COLUMNS, run_scale
 from .scenarios import (
     ScenarioSpec,
     all_scenarios,
@@ -61,6 +63,7 @@ __all__ = [
     "ParameterAblationConfig",
     "RobustnessConfig",
     "RobustnessDetailConfig",
+    "ScaleConfig",
     "SizeSweepConfig",
     "run_density_sweep",
     "FIGURE1_COLUMNS",
@@ -77,6 +80,8 @@ __all__ = [
     "run_figure5",
     "run_graph_model_comparison",
     "run_leader_election_cost",
+    "SCALE_COLUMNS",
+    "run_scale",
     "build_report",
     "experiment_section",
     "markdown_table",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
+    "ScaleConfig",
     "SizeSweepConfig",
     "RobustnessConfig",
     "RobustnessDetailConfig",
@@ -66,6 +67,51 @@ class SizeSweepConfig:
     def paper_scale(cls) -> "SizeSweepConfig":
         """Larger sizes closer to the paper's range (slower)."""
         return cls(sizes=(1024, 2048, 4096, 8192, 16384, 32768), repetitions=5)
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Configuration of the large-n storage-layout scale scenario.
+
+    Attributes
+    ----------
+    sizes:
+        Graph sizes; the point of the scenario is sizes past the dense
+        comfort zone, where the paged/sparse layouts earn their keep.
+    layouts:
+        Knowledge-storage layouts compared per size
+        (:data:`repro.engine.layouts.LAYOUTS` names).
+    repetitions:
+        Independent runs per (size, layout) pair.
+    seed:
+        Base seed; all runs derive their seeds deterministically from it.
+    protocol:
+        The gossiping protocol to scale (push-pull by default — the one
+        whose cost the paper's Figure 1 anchors).
+    density_exponent:
+        The sweep uses ``G(n, log^density_exponent(n) / n)``.
+    n_jobs:
+        Worker processes for the sweep (keep at 1 for honest per-run
+        memory readings).
+    """
+
+    sizes: Tuple[int, ...] = (4096, 16384)
+    layouts: Tuple[str, ...] = ("dense", "paged", "sparse")
+    repetitions: int = 1
+    seed: Optional[int] = 20150525
+    protocol: str = "push-pull"
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "ScaleConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ScaleConfig":
+        """The n >= 100k regime the layouts exist for (slow, memory-heavy)."""
+        return cls(sizes=(50_000, 100_000), layouts=("paged", "sparse"))
 
 
 @dataclass(frozen=True)

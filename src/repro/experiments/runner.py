@@ -34,6 +34,7 @@ from ..core.parameters import (
     tuned_memory_gossiping,
 )
 from ..core.push_pull import PushPullGossip
+from ..engine import layouts
 from ..engine.failures import NO_FAILURES, sample_uniform_failures
 from ..engine.metrics import MessageAccounting
 from ..graphs.generators import GraphSpec, make_graph
@@ -99,7 +100,10 @@ def gossip_task(task: SweepTask) -> Dict[str, Any]:
     """Run one gossiping protocol once; used by the size/density sweeps.
 
     Expected task params: ``graph_spec`` (dict), ``protocol`` (name),
-    optional ``protocol_options`` (dict).
+    optional ``protocol_options`` (dict) and optional ``knowledge_layout``
+    (a :data:`repro.engine.layouts.LAYOUTS` name forced for the run via
+    :func:`repro.engine.layouts.use`; trajectories are layout-invariant, so
+    this only affects memory/speed — used by the large-n scale scenario).
     """
     params = task.params
     spec = GraphSpec.from_dict(params["graph_spec"])
@@ -107,8 +111,13 @@ def gossip_task(task: SweepTask) -> Dict[str, Any]:
     protocol = make_protocol(
         params["protocol"], protocol_options=params.get("protocol_options")
     )
-    result = protocol.run(graph, rng=task.seed + 1)
-    return {
+    layout = params.get("knowledge_layout")
+    if layout is not None:
+        with layouts.use(layout):
+            result = protocol.run(graph, rng=task.seed + 1)
+    else:
+        result = protocol.run(graph, rng=task.seed + 1)
+    record = {
         "n": spec.n,
         "graph": spec.describe(),
         "mean_degree": graph.mean_degree(),
@@ -121,6 +130,11 @@ def gossip_task(task: SweepTask) -> Dict[str, Any]:
             MessageAccounting.OPENS_AND_PACKETS
         ),
     }
+    if layout is not None:
+        record["knowledge_layout"] = layout
+        record["storage_class"] = type(result.knowledge).__name__
+        record["storage_mb"] = round(result.knowledge.storage_nbytes() / 1e6, 1)
+    return record
 
 
 def robustness_task(task: SweepTask) -> Dict[str, Any]:

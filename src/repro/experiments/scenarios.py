@@ -151,6 +151,7 @@ _SCENARIO_MODULES = (
     "ablation_redundancy",
     "leader_election_cost",
     "graph_models",
+    "scale",
 )
 
 

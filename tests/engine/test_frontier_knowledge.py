@@ -291,6 +291,9 @@ class TestProtocolTrajectoryEquivalence:
             }[protocol_name]()
 
         monkeypatch.delenv("REPRO_DISABLE_FRONTIER", raising=False)
+        # This test pins the frontier-vs-dense contract specifically; neutralize
+        # any forced storage layout from the surrounding environment.
+        monkeypatch.setenv("REPRO_KNOWLEDGE_LAYOUT", "dense")
         frontier = make().run(graph, rng=41)
         assert isinstance(frontier.knowledge, FrontierKnowledge)
         monkeypatch.setenv("REPRO_DISABLE_FRONTIER", "1")
@@ -304,6 +307,7 @@ class TestProtocolTrajectoryEquivalence:
 
     def test_adaptive_gate(self, monkeypatch):
         monkeypatch.delenv("REPRO_DISABLE_FRONTIER", raising=False)
+        monkeypatch.setenv("REPRO_KNOWLEDGE_LAYOUT", "dense")
         assert isinstance(adaptive_knowledge(64 * 64), FrontierKnowledge)
         assert type(adaptive_knowledge(1000)) is KnowledgeMatrix
         monkeypatch.setenv("REPRO_DISABLE_FRONTIER", "1")

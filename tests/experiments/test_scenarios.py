@@ -30,6 +30,7 @@ EXPECTED_SCENARIOS = {
     "redundancy",
     "election",
     "graph-models",
+    "scale",
 }
 
 
