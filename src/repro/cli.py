@@ -44,10 +44,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import RetryPolicy
 from .core import (
+    CLOCKS,
     FastGossiping,
     LeaderElection,
     MemoryGossiping,
     PushPullGossip,
+    PushSumGossip,
     table1_rows,
 )
 from .engine import MessageAccounting
@@ -80,9 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one gossiping protocol")
     run_parser.add_argument(
         "--protocol",
-        choices=("push-pull", "fast-gossiping", "memory"),
+        choices=("push-pull", "fast-gossiping", "memory", "push-sum"),
         default="fast-gossiping",
         help="gossiping protocol to execute",
+    )
+    run_parser.add_argument(
+        "--clock",
+        choices=CLOCKS,
+        default="sync",
+        help="execution clock: synchronous rounds or continuous-time "
+        "Poisson wakeups (push-pull and push-sum only)",
     )
     run_parser.add_argument("--nodes", "-n", type=int, default=1024, help="graph size")
     run_parser.add_argument(
@@ -246,9 +255,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "push-pull": PushPullGossip(),
         "fast-gossiping": FastGossiping(),
         "memory": MemoryGossiping(leader=0),
+        "push-sum": PushSumGossip(),
     }
     protocol = protocols[args.protocol]
-    result = protocol.run(graph, rng=args.seed + 1)
+    if args.clock not in protocol.supported_clocks:
+        print(
+            f"error: protocol {args.protocol!r} does not support the "
+            f"{args.clock!r} clock (supported: {protocol.supported_clocks})",
+            file=sys.stderr,
+        )
+        return 2
+    # Sync-only protocols do not take a clock argument at all.
+    run_kwargs = {"clock": args.clock} if len(protocol.supported_clocks) > 1 else {}
+    result = protocol.run(graph, rng=args.seed + 1, **run_kwargs)
     summary = result.summary()
     summary["graph"] = spec.describe()
     if args.json:

@@ -24,8 +24,9 @@ from .parameters import (
     tuned_fast_gossiping,
     tuned_memory_gossiping,
 )
-from .protocol import GossipProtocol
+from .protocol import CLOCKS, GossipProtocol
 from .push_pull import PushPullGossip
+from .push_sum import PushSumGossip, PushSumParameters
 from .random_walks import WalkPool, start_walks
 from .results import GossipResult
 
@@ -52,8 +53,11 @@ __all__ = [
     "theory_fast_gossiping",
     "tuned_fast_gossiping",
     "tuned_memory_gossiping",
+    "CLOCKS",
     "GossipProtocol",
     "PushPullGossip",
+    "PushSumGossip",
+    "PushSumParameters",
     "WalkPool",
     "start_walks",
     "GossipResult",

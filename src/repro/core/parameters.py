@@ -341,14 +341,25 @@ class PushPullParameters:
     max_rounds_factor:
         Safety limit: the protocol aborts after
         ``ceil(max_rounds_factor * log n)`` rounds even if gossiping has not
-        completed (it normally completes well before).
+        completed (it normally completes well before).  Under the event
+        clock the same factor bounds the wakeup budget at
+        ``max_rounds(n) * n`` (one synchronous round ≈ ``n`` wakeups).
+    clock:
+        Default execution clock, ``"sync"`` or ``"event"``
+        (:data:`repro.core.protocol.CLOCKS`); an explicit ``run(clock=...)``
+        argument overrides it.
     """
 
     max_rounds_factor: float = 8.0
+    clock: str = "sync"
 
     def max_rounds(self, n: int) -> int:
         """Maximum number of rounds for network size ``n``."""
         return max(4, math.ceil(self.max_rounds_factor * log2(n)))
+
+    def max_events(self, n: int) -> int:
+        """Event-clock wakeup budget: ``max_rounds(n)`` rounds' worth."""
+        return self.max_rounds(n) * max(1, n)
 
 
 # --------------------------------------------------------------------------- #

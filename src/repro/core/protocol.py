@@ -18,7 +18,13 @@ from ..engine.rng import RandomState, make_rng
 from ..graphs.adjacency import Adjacency
 from .results import GossipResult
 
-__all__ = ["GossipProtocol"]
+__all__ = ["CLOCKS", "GossipProtocol"]
+
+#: Execution clocks a protocol may run under.  ``sync`` is the classic
+#: synchronous-rounds random phone call model; ``event`` is the
+#: continuous-time model of :mod:`repro.engine.event_clock`, where nodes act
+#: on independent Poisson wakeups batched into non-colliding groups.
+CLOCKS = ("sync", "event")
 
 
 class GossipProtocol(abc.ABC):
@@ -26,6 +32,9 @@ class GossipProtocol(abc.ABC):
 
     #: Human-readable protocol name used in reports and plots.
     name: str = "gossip"
+
+    #: Clocks this protocol implements; ``run(clock=...)`` rejects others.
+    supported_clocks: "tuple[str, ...]" = ("sync",)
 
     @abc.abstractmethod
     def run(
@@ -56,6 +65,25 @@ class GossipProtocol(abc.ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def _resolve_clock(self, clock: Optional[str]) -> str:
+        """Validate a requested execution clock against :data:`CLOCKS`.
+
+        ``None`` resolves to the protocol's default (the first supported
+        clock); unknown or unsupported clocks raise ``ValueError`` rather
+        than silently falling back to synchronous rounds.
+        """
+        if clock is None:
+            return self.supported_clocks[0]
+        clock = str(clock).lower()
+        if clock not in CLOCKS:
+            raise ValueError(f"unknown clock {clock!r} (expected one of {CLOCKS})")
+        if clock not in self.supported_clocks:
+            raise ValueError(
+                f"protocol {self.name!r} does not support the {clock!r} clock "
+                f"(supported: {self.supported_clocks})"
+            )
+        return clock
+
     def _prepare(self, graph: Adjacency, rng: RandomState):
         """Validate the graph and normalise the randomness source."""
         if graph.n < 2:

@@ -15,6 +15,15 @@ the driver is backend-agnostic and its trajectories are bit-identical across
 the ``numpy``, ``c`` and ``c-threads`` backends at every thread count
 (``REPRO_KERNEL_BACKEND`` / ``REPRO_KERNEL_THREADS``; see
 ``docs/parallelism.md``).
+
+The protocol also runs under the **event clock**
+(:mod:`repro.engine.event_clock`): nodes act on independent Poisson wakeups,
+greedily batched into non-colliding groups that replay through the same
+``apply_exchange`` kernels — one ``pushpull`` per wakeup instead of one per
+node per round.  Event-clock runs optionally take a
+:class:`~repro.engine.event_clock.ChurnPlan` of seeded join/leave edits
+applied at forced group boundaries (nodes keep their knowledge while away;
+completion targets the finally-alive membership).
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Optional
 import numpy as np
 
 from ..engine.channels import open_channels
+from ..engine.event_clock import ChurnPlan, EventScheduler
 from ..engine.failures import NO_FAILURES, FailurePlan
 from ..engine.knowledge import adaptive_knowledge
 from ..engine.metrics import TransmissionLedger
@@ -49,6 +59,7 @@ class PushPullGossip(GossipProtocol):
     """
 
     name = "push-pull"
+    supported_clocks = ("sync", "event")
 
     def __init__(self, params: Optional[PushPullParameters] = None) -> None:
         self.params = params or PushPullParameters()
@@ -60,11 +71,24 @@ class PushPullGossip(GossipProtocol):
         rng: RandomState = None,
         failures: FailurePlan = NO_FAILURES,
         record_trace: bool = False,
+        clock: Optional[str] = None,
+        churn: Optional[ChurnPlan] = None,
     ) -> GossipResult:
+        clock = self._resolve_clock(clock if clock is not None else self.params.clock)
         generator = self._prepare(graph, rng)
         if not failures.is_empty() and failures.inject_at != "start":
             raise ValueError(
                 "PushPullGossip only supports failures injected at 'start'"
+            )
+        if churn is not None and clock != "event":
+            raise ValueError("churn plans require the event clock")
+        if clock == "event":
+            return self._run_event(
+                graph,
+                generator,
+                failures=failures,
+                record_trace=record_trace,
+                churn=churn,
             )
         alive = failures.alive_mask(graph.n)
         alive_nodes = np.flatnonzero(alive)
@@ -117,5 +141,101 @@ class PushPullGossip(GossipProtocol):
             ledger=ledger,
             knowledge=knowledge,
             trace=trace if record_trace else None,
-            extras={"alive_nodes": int(alive_nodes.size)},
+            extras={"clock": "sync", "alive_nodes": int(alive_nodes.size)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event clock
+    # ------------------------------------------------------------------ #
+    def _run_event(
+        self,
+        graph: Adjacency,
+        generator: np.random.Generator,
+        *,
+        failures: FailurePlan,
+        record_trace: bool,
+        churn: Optional[ChurnPlan],
+    ) -> GossipResult:
+        """Continuous-time run: Poisson wakeups in non-colliding batches.
+
+        Each emitted :class:`~repro.engine.event_clock.EventGroup` replays
+        through one ``apply_exchange`` call — bit-identical to applying its
+        wakeups one at a time, because all endpoints within a group are
+        pairwise distinct.  One ledger round is one non-empty group, so
+        ``rounds`` counts event groups here.
+
+        Without churn the saturation filter runs exactly as in the
+        synchronous driver.  With churn it is disabled: a node that leaves
+        for good may already have spread its message, so live rows are no
+        longer guaranteed subsets of the completion row and the filter's
+        promotion shortcut would not be bit-exact.  Completion then targets
+        the finally-alive membership (knowledge survives absences).
+        """
+        alive = failures.alive_mask(graph.n)
+        final_alive = churn.final_alive(alive) if churn is not None else alive
+        knowledge = adaptive_knowledge(graph.n)
+        ledger = TransmissionLedger(graph.n)
+        trace = SpreadingTrace(enabled=record_trace)
+        ledger.begin_phase("push-pull")
+
+        tracker = CompletionTracker(knowledge, np.flatnonzero(final_alive))
+        use_filter = churn is None
+        scheduler = EventScheduler(
+            graph,
+            generator,
+            max_events=self.params.max_events(graph.n),
+            alive=alive,
+            breaks=churn.breaks if churn is not None else None,
+        )
+        churn_ptr = 0
+        completed = False
+        group_index = 0
+        for group in scheduler.groups():
+            if group.openers.size:
+                ledger.record_opens(group.openers)
+            if group.size:
+                touched, promoted = knowledge.apply_exchange(
+                    group.callers,
+                    group.targets,
+                    complete=tracker.complete_rows if use_filter else None,
+                    complete_row=tracker.mask if use_filter else None,
+                )
+                ledger.record_pushes(group.callers)
+                ledger.record_pulls(group.targets)
+                ledger.end_round()
+                trace.record(group_index, "push-pull", knowledge)
+                group_index += 1
+                tracker.update(touched)
+                tracker.mark_promoted(promoted)
+                if tracker.is_complete():
+                    completed = True
+                    break
+            if churn is not None:
+                while (
+                    churn_ptr < len(churn)
+                    and churn.indices[churn_ptr] <= scheduler.events
+                ):
+                    scheduler.set_alive(
+                        int(churn.nodes[churn_ptr]), bool(churn.joins[churn_ptr])
+                    )
+                    churn_ptr += 1
+
+        ledger.end_phase()
+        extras = {
+            "clock": "event",
+            "events": scheduler.events,
+            "sim_time": scheduler.time,
+            "alive_nodes": int(final_alive.sum()),
+        }
+        if churn is not None:
+            extras["churn_ops"] = len(churn)
+        return GossipResult(
+            protocol=self.name,
+            n_nodes=graph.n,
+            completed=completed,
+            rounds=ledger.rounds,
+            ledger=ledger,
+            knowledge=knowledge,
+            trace=trace if record_trace else None,
+            extras=extras,
         )

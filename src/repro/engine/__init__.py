@@ -15,6 +15,13 @@ registry that selects between NumPy, serial-C and threaded-C execution
 
 from . import backends
 from .channels import ChannelSet, open_channels
+from .event_clock import (
+    ChurnPlan,
+    EventGroup,
+    EventScheduler,
+    group_events,
+    sample_churn_plan,
+)
 from .chaos import (
     ChaosError,
     ChaosSpec,
@@ -49,6 +56,11 @@ __all__ = [
     "backends",
     "ChannelSet",
     "open_channels",
+    "ChurnPlan",
+    "EventGroup",
+    "EventScheduler",
+    "group_events",
+    "sample_churn_plan",
     "ChaosError",
     "ChaosSpec",
     "Fault",

@@ -15,11 +15,14 @@ table); call ``result.to_table()`` for a printable report or
 from .ablation_parameters import run_parameter_ablation
 from .ablation_redundancy import run_redundancy_ablation
 from .broadcast_vs_gossip import run_broadcast_ablation
+from .churn import CHURN_COLUMNS, run_churn
 from .config import (
     BroadcastAblationConfig,
+    ChurnConfig,
     DensitySweepConfig,
     LeaderElectionConfig,
     ParameterAblationConfig,
+    PushSumConfig,
     RobustnessConfig,
     RobustnessDetailConfig,
     ScaleConfig,
@@ -40,6 +43,7 @@ from .report import (
     scenario_plot,
     write_report,
 )
+from .push_sum import PUSHSUM_COLUMNS, run_pushsum
 from .runner import ExperimentResult, aggregate_records, make_protocol
 from .scale import SCALE_COLUMNS, run_scale
 from .scenarios import (
@@ -58,9 +62,15 @@ __all__ = [
     "run_redundancy_ablation",
     "run_broadcast_ablation",
     "BroadcastAblationConfig",
+    "ChurnConfig",
+    "CHURN_COLUMNS",
+    "run_churn",
     "DensitySweepConfig",
     "LeaderElectionConfig",
     "ParameterAblationConfig",
+    "PushSumConfig",
+    "PUSHSUM_COLUMNS",
+    "run_pushsum",
     "RobustnessConfig",
     "RobustnessDetailConfig",
     "ScaleConfig",

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
+    "ChurnConfig",
+    "PushSumConfig",
     "ScaleConfig",
     "SizeSweepConfig",
     "RobustnessConfig",
@@ -112,6 +114,91 @@ class ScaleConfig:
     def paper_scale(cls) -> "ScaleConfig":
         """The n >= 100k regime the layouts exist for (slow, memory-heavy)."""
         return cls(sizes=(50_000, 100_000), layouts=("paged", "sparse"))
+
+
+@dataclass(frozen=True)
+class PushSumConfig:
+    """Configuration of the push-sum averaging scenario.
+
+    Attributes
+    ----------
+    sizes:
+        Graph sizes of the sweep.
+    clocks:
+        Execution clocks compared per size
+        (:data:`repro.core.protocol.CLOCKS` names).  Seeds derive from the
+        size alone, so both clocks run on the same graph.
+    tolerance:
+        Convergence threshold on the estimate spread.
+    repetitions:
+        Independent runs per (size, clock) pair.
+    seed:
+        Base seed; all runs derive their seeds deterministically from it.
+    density_exponent:
+        The sweep uses ``G(n, log^density_exponent(n) / n)``.
+    n_jobs:
+        Worker processes for the sweep.
+    """
+
+    sizes: Tuple[int, ...] = (256, 512, 1024)
+    clocks: Tuple[str, ...] = ("sync", "event")
+    tolerance: float = 1e-8
+    repetitions: int = 3
+    seed: Optional[int] = 20150532
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "PushSumConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "PushSumConfig":
+        """Larger sizes (slower)."""
+        return cls(sizes=(4096, 16384), repetitions=5)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Configuration of the node-churn scenario (event-clock push-pull).
+
+    Attributes
+    ----------
+    sizes:
+        Graph sizes of the sweep.
+    churn_fractions:
+        Fractions of the nodes that leave mid-run (a ``rejoin_fraction``
+        share of them returns, keeping their knowledge).
+    rejoin_fraction:
+        Probability that a leaving node rejoins later.
+    repetitions:
+        Independent runs per (size, fraction) pair.
+    seed:
+        Base seed; all runs derive their seeds deterministically from it.
+    density_exponent:
+        The sweep uses ``G(n, log^density_exponent(n) / n)``.
+    n_jobs:
+        Worker processes for the sweep.
+    """
+
+    sizes: Tuple[int, ...] = (256, 512)
+    churn_fractions: Tuple[float, ...] = (0.0, 0.05, 0.15)
+    rejoin_fraction: float = 0.5
+    repetitions: int = 3
+    seed: Optional[int] = 20150533
+    density_exponent: float = 2.0
+    n_jobs: int = 1
+
+    @classmethod
+    def quick(cls) -> "ChurnConfig":
+        """Laptop-scale default configuration."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ChurnConfig":
+        """Larger sizes (slower)."""
+        return cls(sizes=(2048, 8192), repetitions=5)
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.statistics import summarize
-from ..analysis.sweep import SweepTask, expand_grid, run_sweep
+from ..analysis.sweep import SweepTask, expand_grid, run_sweep, stable_key_hash
 from ..core.fast_gossiping import FastGossiping
 from ..core.memory_gossiping import MemoryGossiping
 from ..core.parameters import (
@@ -34,18 +34,25 @@ from ..core.parameters import (
     tuned_memory_gossiping,
 )
 from ..core.push_pull import PushPullGossip
+from ..core.push_sum import PushSumGossip, PushSumParameters
 from ..engine import layouts
+from ..engine.event_clock import sample_churn_plan
 from ..engine.failures import NO_FAILURES, sample_uniform_failures
 from ..engine.metrics import MessageAccounting
+from ..engine.rng import derive_seed
 from ..graphs.generators import GraphSpec, make_graph
 from ..io.results import save_csv, save_json
 from ..io.tables import format_records
 
 __all__ = [
     "PROTOCOL_NAMES",
+    "ALL_PROTOCOL_NAMES",
     "make_protocol",
     "gossip_task",
     "robustness_task",
+    "push_sum_task",
+    "churn_task",
+    "spread_monotone",
     "ExperimentResult",
     "aggregate_records",
     "run_gossip_sweep",
@@ -53,6 +60,10 @@ __all__ = [
 
 #: Names of the gossiping protocols compared in the paper's Figure 1.
 PROTOCOL_NAMES = ("push-pull", "fast-gossiping", "memory")
+
+#: All protocols :func:`make_protocol` can build (Figure 1 set plus the
+#: push-sum aggregation workload).
+ALL_PROTOCOL_NAMES = PROTOCOL_NAMES + ("push-sum",)
 
 
 def make_protocol(
@@ -65,16 +76,21 @@ def make_protocol(
     Parameters
     ----------
     name:
-        ``"push-pull"``, ``"fast-gossiping"`` or ``"memory"``.
+        ``"push-pull"``, ``"fast-gossiping"``, ``"memory"`` or
+        ``"push-sum"``.
     protocol_options:
         Keyword overrides for the protocol's parameter dataclass
-        (e.g. ``{"walk_probability_factor": 2.0}`` for fast-gossiping, or
-        ``{"num_trees": 3, "gather_only": True, "leader": 0}`` for memory).
+        (e.g. ``{"walk_probability_factor": 2.0}`` for fast-gossiping,
+        ``{"num_trees": 3, "gather_only": True, "leader": 0}`` for memory,
+        or ``{"clock": "event"}`` for push-pull / push-sum).
     """
     options = dict(protocol_options or {})
     if name == "push-pull":
         params = PushPullParameters(**options) if options else PushPullParameters()
         return PushPullGossip(params)
+    if name == "push-sum":
+        params = PushSumParameters(**options) if options else PushSumParameters()
+        return PushSumGossip(params)
     if name == "fast-gossiping":
         params = tuned_fast_gossiping()
         if options:
@@ -90,7 +106,9 @@ def make_protocol(
         return MemoryGossiping(
             params, leader=leader, elect_leader=elect_leader, gather_only=gather_only
         )
-    raise ValueError(f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}")
+    raise ValueError(
+        f"unknown protocol {name!r}; expected one of {ALL_PROTOCOL_NAMES}"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -173,6 +191,98 @@ def robustness_task(task: SweepTask) -> Dict[str, Any]:
         "loss_ratio": (lost / failed_count) if failed_count else 0.0,
         "messages_per_node": result.messages_per_node(MessageAccounting.PACKETS),
         "rounds": result.rounds,
+    }
+
+
+def spread_monotone(spread: Sequence[float], tolerance: float = 1e-12) -> bool:
+    """True when the spread series never increases beyond float rounding.
+
+    Push-sum's exact-arithmetic guarantee; the tolerance absorbs the
+    ``~1e-16``-scale wobble double rounding can introduce per step.
+    """
+    return all(b <= a + tolerance for a, b in zip(spread, spread[1:]))
+
+
+def push_sum_task(task: SweepTask) -> Dict[str, Any]:
+    """Run push-sum averaging once under a configured clock.
+
+    Expected task params: ``graph_spec`` (dict), ``clock`` (``"sync"`` /
+    ``"event"``), ``base_seed`` and optional ``tolerance``.  Like
+    ``scale_task``, the simulation seed derives from the size alone (not the
+    configuration key, which includes the clock), so both clocks run the
+    same graph and their convergence behaviour is directly comparable.
+    """
+    params = task.params
+    spec = GraphSpec.from_dict(params["graph_spec"])
+    seed = derive_seed(
+        params["base_seed"], stable_key_hash(("pushsum", spec.n)), task.repetition
+    )
+    graph = make_graph(spec, rng=seed)
+    protocol = PushSumGossip(
+        PushSumParameters(
+            clock=params["clock"],
+            tolerance=float(params.get("tolerance", 1e-8)),
+        )
+    )
+    result = protocol.run(graph, rng=seed + 1)
+    extras = result.extras
+    return {
+        "n": spec.n,
+        "clock": params["clock"],
+        "converged": result.completed,
+        "rounds": result.rounds,
+        "events": int(extras["events"]),
+        "sim_time": float(extras["sim_time"]),
+        "messages_per_node": result.messages_per_node(MessageAccounting.PUSHES),
+        "mass_error": float(extras["mass_error"]),
+        "spread_final": float(extras["spread"]),
+        "variance_initial": float(extras["variance_initial"]),
+        "variance_final": float(extras["variance_final"]),
+        "estimate_error": float(extras["estimate_error"]),
+        "spread_monotone": spread_monotone(extras["series"]["spread"]),
+    }
+
+
+def churn_task(task: SweepTask) -> Dict[str, Any]:
+    """Run event-clock push-pull with seeded join/leave churn.
+
+    Expected task params: ``graph_spec`` (dict), ``churn_fraction`` (float),
+    ``rejoin_fraction`` (float) and optional ``knowledge_layout``.
+    """
+    params = task.params
+    spec = GraphSpec.from_dict(params["graph_spec"])
+    graph = make_graph(spec, rng=task.seed)
+    protocol = PushPullGossip(PushPullParameters(clock="event"))
+    leavers = int(round(float(params["churn_fraction"]) * spec.n))
+    plan = None
+    if leavers:
+        # Churn lands within the first quarter of the wakeup budget so runs
+        # have time to finish after the membership settles.
+        plan = sample_churn_plan(
+            spec.n,
+            leavers=leavers,
+            rng=task.seed + 7,
+            horizon=protocol.params.max_events(spec.n) // 4,
+            rejoin_fraction=float(params.get("rejoin_fraction", 0.5)),
+        )
+    layout = params.get("knowledge_layout")
+    if layout is not None:
+        with layouts.use(layout):
+            result = protocol.run(graph, rng=task.seed + 1, churn=plan)
+    else:
+        result = protocol.run(graph, rng=task.seed + 1, churn=plan)
+    extras = result.extras
+    return {
+        "n": spec.n,
+        "churn_fraction": float(params["churn_fraction"]),
+        "churn_ops": int(extras.get("churn_ops", 0)),
+        "survivors": int(extras["alive_nodes"]),
+        "completed": result.completed,
+        "rounds": result.rounds,
+        "events": int(extras["events"]),
+        "sim_time": float(extras["sim_time"]),
+        "messages_per_node": result.messages_per_node(MessageAccounting.PACKETS),
+        "opens_per_node": result.messages_per_node(MessageAccounting.OPENS),
     }
 
 

@@ -152,6 +152,8 @@ _SCENARIO_MODULES = (
     "leader_election_cost",
     "graph_models",
     "scale",
+    "push_sum",
+    "churn",
 )
 
 

@@ -268,6 +268,7 @@ class TestCompiledMatchesNumpyFrontier:
         assert np.array_equal(self.run_rounds(False), self.run_rounds(True))
 
 
+@pytest.mark.slow
 class TestProtocolTrajectoryEquivalence:
     """Full runs with the frontier are bit-identical to dense runs."""
 

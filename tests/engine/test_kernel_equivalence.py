@@ -250,6 +250,7 @@ class TestCompiledMatchesNumpy:
             assert a.ledger.total() == b.ledger.total()
 
 
+@pytest.mark.slow
 @pytest.mark.skipif(not _ckernel.available(), reason="no compiled kernel")
 class TestBackendTrajectoryParity:
     """Full-protocol trajectories are backend- and thread-count-invariant.

@@ -314,6 +314,7 @@ class TestLayoutRegistry:
         assert result.completed
 
 
+@pytest.mark.slow
 class TestCrossLayoutTrajectoryParity:
     """Full protocol runs are layout- AND backend-invariant, bit for bit."""
 

@@ -31,6 +31,8 @@ EXPECTED_SCENARIOS = {
     "election",
     "graph-models",
     "scale",
+    "pushsum",
+    "churn",
 }
 
 
