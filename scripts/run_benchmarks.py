@@ -398,6 +398,73 @@ def memory_kernel_entry(graph, repeats: int) -> Dict[str, object]:
     }
 
 
+def aggregate_query_entry(repeats: int) -> Optional[Dict[str, object]]:
+    """Scan-vs-index aggregate-query timings over a synthetic result store.
+
+    Builds a store of ``n_configs * repetitions`` records in a temp
+    directory, then times the same grouped aggregate (and per-metric stats)
+    two ways: a cold full-JSONL-scan recompute per call, and the warm
+    SQLite query index (each call still re-verifies the indexed prefix
+    CRC).  Both answers are required to be identical before anything is
+    recorded.  ``index_build_s`` is one from-scratch ``rebuild()``.
+    """
+    import tempfile
+
+    from repro.analysis.statistics import aggregate_records
+    from repro.io import ResultStore, index_available
+
+    if not index_available():
+        return None
+    n_configs, repetitions = 500, 3
+    group_by, metrics = ["n"], ["rounds", "messages"]
+    with tempfile.TemporaryDirectory() as tmp:
+        rng = make_rng(41)
+        store = ResultStore(tmp)
+        for c in range(n_configs):
+            for r in range(repetitions):
+                store.append(
+                    "bench",
+                    key=["cfg", c],
+                    params={"c": c},
+                    repetition=r,
+                    seed=c * 10 + r,
+                    record={
+                        "n": 64 * (c % 20 + 1),
+                        "rounds": float(rng.uniform(1.0, 50.0)),
+                        "messages": int(rng.integers(1_000, 100_000)),
+                        "protocol": ("push-pull", "fast-gossiping")[c % 2],
+                    },
+                )
+
+        def scan_aggregate():
+            scan = ResultStore(tmp, index=False)
+            pairs = scan.completed_entries("bench")
+            records = [pairs[pair]["record"] for pair in sorted(pairs)]
+            scan.close()
+            return aggregate_records(records, group_by, metrics)
+
+        index = store.query_index
+        build_wall, _ = best_of(lambda: index.rebuild("bench"), 1)
+        scan_wall, scan_rows = best_of(scan_aggregate, repeats)
+        index_wall, index_rows = best_of(
+            lambda: index.aggregate("bench", group_by, metrics), repeats
+        )
+        if index_rows != scan_rows:
+            raise RuntimeError("index-served aggregate diverged from the JSONL scan")
+        stats_wall, _ = best_of(lambda: index.stats("bench", metrics), repeats)
+        store.close()
+    return {
+        "records": n_configs * repetitions,
+        "group_by": group_by,
+        "metrics": metrics,
+        "index_build_s": round(build_wall, 6),
+        "scan_aggregate_ms": round(scan_wall * 1000, 4),
+        "index_aggregate_ms": round(index_wall * 1000, 4),
+        "index_speedup": round(scan_wall / index_wall, 2) if index_wall > 0 else None,
+        "index_stats_ms": round(stats_wall * 1000, 4),
+    }
+
+
 def main() -> int:
     if len(sys.argv) >= 3 and sys.argv[1] == "--_child":
         return _child_main(sys.argv[2])
@@ -423,7 +490,7 @@ def main() -> int:
 
     sizes = SIZES[:1] if args.quick else SIZES
     report: Dict[str, object] = {
-        "schema": "repro-bench-kernel/3",
+        "schema": "repro-bench-kernel/4",
         "description": (
             "Kernel benchmark baseline: full protocol runs and raw knowledge-"
             "kernel operations at fixed seeds (graph rng=5; protocol rngs: "
@@ -432,7 +499,10 @@ def main() -> int:
             "exchange scaling live under sizes.<n>.kernel / the protocols' "
             "backend_wall_clock_ms.  peak_rss_mb fields are ru_maxrss of a "
             "fresh subprocess per measurement (graph construction included); "
-            "large_n runs full push-pull per storage layout at n=100000."
+            "large_n runs full push-pull per storage layout at n=100000; "
+            "aggregate_query times the same grouped aggregate over a "
+            "synthetic result store via a full JSONL scan vs the SQLite "
+            "query index (docs/caching.md)."
         ),
         "compiled_kernel": _ckernel.available(),
         "backend": backends.active().describe(),
@@ -486,6 +556,11 @@ def main() -> int:
     if not (args.quick or args.skip_large):
         report["large_n"] = large_n_entry(LARGE_N, repeats=1)
 
+    print("aggregate-query: JSONL scan vs SQLite index ...", flush=True)
+    aggregate_query = aggregate_query_entry(args.repeats)
+    if aggregate_query is not None:
+        report["aggregate_query"] = aggregate_query
+
     output = os.path.abspath(args.output)
     with open(output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
@@ -517,6 +592,14 @@ def main() -> int:
                 f"t={t}:{ms:.2f}ms" for t, ms in kr["thread_scaling"].items()
             )
             print(f"  n={n:>6} {'exchange-threads':<15} {scaling}")
+    aq = report.get("aggregate_query")
+    if aq:
+        print(
+            f"  aggregate-query ({aq['records']} records) "
+            f"scan={aq['scan_aggregate_ms']:.2f}ms "
+            f"index={aq['index_aggregate_ms']:.2f}ms "
+            f"({aq['index_speedup']}x)  stats={aq['index_stats_ms']:.2f}ms"
+        )
     large = report.get("large_n")
     if large:
         print(f"  large-n={large['n']} push-pull per storage layout:")

@@ -16,7 +16,13 @@ from .bounds import (
     shape_correlation,
 )
 from .spreading import GrowthSummary, coverage_growth, phase_breakdown, rounds_to_coverage
-from .statistics import SampleStatistics, summarize, summarize_records, welford
+from .statistics import (
+    SampleStatistics,
+    aggregate_records,
+    summarize,
+    summarize_records,
+    welford,
+)
 from .supervisor import RetryPolicy, SweepReport, TaskFailure, run_supervised_sweep
 from .sweep import SweepTask, expand_grid, run_sweep
 
@@ -42,6 +48,7 @@ __all__ = [
     "phase_breakdown",
     "rounds_to_coverage",
     "SampleStatistics",
+    "aggregate_records",
     "summarize",
     "summarize_records",
     "welford",

@@ -10,11 +10,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SampleStatistics", "summarize", "summarize_records", "welford"]
+__all__ = [
+    "SampleStatistics",
+    "aggregate_records",
+    "summarize",
+    "summarize_records",
+    "welford",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,43 @@ def summarize_records(
         if values:
             out[key] = summarize(values)
     return out
+
+
+def aggregate_records(
+    records: Sequence[Mapping[str, Any]],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> List[Dict[str, Any]]:
+    """Group per-run records and average the named metrics within each group.
+
+    The output row contains the group keys, ``<metric>`` (mean),
+    ``<metric>_std`` and ``repetitions``.  Groups appear in first-seen
+    (record) order.  This single implementation backs both the experiment
+    harness and the store's query index, so scan-served and index-served
+    aggregates are computed by literally the same code.
+    """
+    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
+    order: List[Tuple] = []
+    for record in records:
+        key = tuple(record[k] for k in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+    rows: List[Dict[str, Any]] = []
+    for key in order:
+        members = groups[key]
+        row: Dict[str, Any] = {k: v for k, v in zip(group_by, key)}
+        row["repetitions"] = len(members)
+        for metric in metrics:
+            values = [float(m[metric]) for m in members if metric in m and m[metric] is not None]
+            if not values:
+                continue
+            stats = summarize(values)
+            row[metric] = stats.mean
+            row[f"{metric}_std"] = stats.std
+        rows.append(row)
+    return rows
 
 
 def welford(values: Iterable[float]) -> SampleStatistics:

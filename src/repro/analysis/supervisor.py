@@ -163,6 +163,12 @@ class SweepReport:
     ``ok + len(quarantined) == total`` when the sweep ran to the end; a
     nonempty ``quarantined`` list marks the run as *degraded* (the CLI exits
     nonzero on it) without having aborted the healthy part of the grid.
+
+    ``cache_hits`` / ``executed`` are filled in by the read-through cache
+    layer of :func:`repro.experiments.scenarios.run_scenario` when the sweep
+    runs against a result store: ``cache_hits`` pairs were served from the
+    store without any simulation and ``executed`` (== ``total``) went
+    through the scheduler.
     """
 
     total: int = 0
@@ -173,6 +179,8 @@ class SweepReport:
     timeouts: int = 0
     worker_crashes: int = 0
     pool_restarts: int = 0
+    cache_hits: int = 0
+    executed: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -188,6 +196,8 @@ class SweepReport:
             "timeouts": self.timeouts,
             "worker_crashes": self.worker_crashes,
             "pool_restarts": self.pool_restarts,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
             "quarantined": [f.to_jsonable() for f in self.quarantined],
         }
 
@@ -197,6 +207,8 @@ class SweepReport:
             f"({self.retries} retries), {len(self.quarantined)} quarantined"
         )
         extras = []
+        if self.cache_hits:
+            extras.append(f"{self.cache_hits} cache hits")
         if self.timeouts:
             extras.append(f"{self.timeouts} timeouts")
         if self.worker_crashes:

@@ -26,6 +26,13 @@ Installed as ``python -m repro``; the subcommands cover the common workflows:
     reproduced rows and optionally an ASCII rendition of the figure, and
     persist the rows to a directory.
 
+``results``
+    Query a result store without re-scanning JSONL: ``results query`` lists
+    completed records with equality filters, ``results stats`` prints
+    per-metric statistics (count/mean/std/min/max/percentiles) or grouped
+    aggregates, and ``results rebuild`` re-derives the SQLite query index
+    from the JSONL source of truth (see ``docs/caching.md``).
+
 ``table1``
     Print the paper's Table 1 constants resolved for the given sizes.
 
@@ -63,7 +70,7 @@ from .experiments import (
     scenario_plot,
 )
 from .graphs import GraphSpec, make_graph, paper_edge_probability, profile_graph
-from .io import ResultStore, format_table, save_json, to_jsonable
+from .io import ResultStore, format_records, format_table, save_json, to_jsonable
 
 __all__ = ["main", "build_parser"]
 
@@ -143,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(requires --out)",
     )
     srun_parser.add_argument(
+        "--cache-from",
+        default=None,
+        metavar="STORE_DIR",
+        help="secondary read-only result store (e.g. a team-shared OUT/store "
+        "directory); pairs found there with matching seeds are copied into "
+        "the primary store instead of being executed (requires --out)",
+    )
+    srun_parser.add_argument(
         "--smoke", action="store_true", help="tiny CI-scale configuration"
     )
     srun_parser.add_argument(
@@ -201,6 +216,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("--seed", type=int, default=None, help="override base seed")
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    results_parser = subparsers.add_parser(
+        "results", help="query a result store through its SQLite index"
+    )
+    results_sub = results_parser.add_subparsers(dest="results_command", required=True)
+
+    rquery_parser = results_sub.add_parser(
+        "query", help="list completed records of one scenario"
+    )
+    rquery_parser.add_argument("store", help="store directory (e.g. results/store)")
+    rquery_parser.add_argument("scenario", help="scenario name (JSONL file stem)")
+    rquery_parser.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="equality filter on a record field (repeatable; values are "
+        "parsed as int, float, true/false, then string)",
+    )
+    rquery_parser.add_argument(
+        "--columns",
+        default=None,
+        help="comma-separated columns to print (default: all of the first row)",
+    )
+    rquery_parser.add_argument("--limit", type=int, default=None, help="stop after N rows")
+    rquery_parser.add_argument("--json", action="store_true", help="print rows as JSON")
+    rquery_parser.set_defaults(func=_cmd_results_query)
+
+    rstats_parser = results_sub.add_parser(
+        "stats", help="per-metric statistics or grouped aggregates"
+    )
+    rstats_parser.add_argument("store", help="store directory (e.g. results/store)")
+    rstats_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name; omitted: print a per-scenario overview",
+    )
+    rstats_parser.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated numeric fields (default: every numeric field)",
+    )
+    rstats_parser.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated group columns; switches to the grouped "
+        "mean/std aggregate used by the experiment reports",
+    )
+    rstats_parser.add_argument(
+        "--percentiles",
+        default="50,90,99",
+        help="comma-separated percentile ranks for the stats view "
+        "(default 50,90,99)",
+    )
+    rstats_parser.add_argument("--json", action="store_true", help="print rows as JSON")
+    rstats_parser.set_defaults(func=_cmd_results_stats)
+
+    rrebuild_parser = results_sub.add_parser(
+        "rebuild", help="re-derive the SQLite index from the JSONL files"
+    )
+    rrebuild_parser.add_argument("store", help="store directory (e.g. results/store)")
+    rrebuild_parser.set_defaults(func=_cmd_results_rebuild)
 
     table_parser = subparsers.add_parser("table1", help="print Table 1 constants")
     table_parser.add_argument(
@@ -313,6 +391,8 @@ def _resume_command(args: argparse.Namespace) -> str:
     parts = ["python", "-m", "repro", "scenarios", "run", *args.names]
     if args.out:
         parts += ["--out", str(args.out), "--resume"]
+    if getattr(args, "cache_from", None):
+        parts += ["--cache-from", str(args.cache_from)]
     if args.smoke:
         parts.append("--smoke")
     if args.jobs != 1:
@@ -355,9 +435,128 @@ def _print_sweep_report(name: str, result) -> bool:
     return bool(quarantined)
 
 
+def _parse_where(items: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``FIELD=VALUE`` filters; values try int/float/bool."""
+    where: Dict[str, object] = {}
+    for item in items:
+        name, sep, raw = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--where expects FIELD=VALUE, got {item!r}")
+        value: object = raw
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    pass
+        where[name] = value
+    return where
+
+
+def _open_query_index(directory: str):
+    """Open a store directory's query index, or (None, exit_code) on error."""
+    path = Path(directory)
+    if not path.is_dir():
+        print(f"error: {directory} is not a store directory", file=sys.stderr)
+        return None, 2
+    index = ResultStore(path).query_index
+    if index is None:
+        print(
+            "error: the query index is disabled (REPRO_DISABLE_STORE_INDEX "
+            "or sqlite3 unavailable); unset it to use `repro results`",
+            file=sys.stderr,
+        )
+        return None, 2
+    return index, 0
+
+
+def _print_rows(rows, columns: Optional[str], as_json: bool, title: str) -> None:
+    if as_json:
+        print(json.dumps(to_jsonable(rows), indent=2, sort_keys=True))
+        return
+    if not rows:
+        print(f"{title}: no rows")
+        return
+    names = (
+        [c.strip() for c in columns.split(",") if c.strip()]
+        if columns
+        else list(rows[0].keys())
+    )
+    print(format_records(rows, names, title=title))
+
+
+def _cmd_results_query(args: argparse.Namespace) -> int:
+    index, code = _open_query_index(args.store)
+    if index is None:
+        return code
+    try:
+        where = _parse_where(args.where)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = index.query(args.scenario, where=where or None, limit=args.limit)
+    _print_rows(rows, args.columns, args.json, f"{args.scenario}: completed records")
+    return 0
+
+
+def _cmd_results_stats(args: argparse.Namespace) -> int:
+    index, code = _open_query_index(args.store)
+    if index is None:
+        return code
+    if args.scenario is None:
+        rows = [
+            {"scenario": name, **index.counts(name)} for name in index.scenario_names()
+        ]
+        _print_rows(rows, None, args.json, "result store overview")
+        return 0
+    metrics = (
+        [m.strip() for m in args.metrics.split(",") if m.strip()] if args.metrics else None
+    )
+    if args.group_by:
+        group_by = [g.strip() for g in args.group_by.split(",") if g.strip()]
+        rows = index.aggregate(args.scenario, group_by, metrics or [])
+        _print_rows(rows, None, args.json, f"{args.scenario}: grouped aggregate")
+        return 0
+    try:
+        percentiles = [float(q) for q in args.percentiles.split(",") if q.strip()]
+    except ValueError:
+        print(f"error: bad --percentiles {args.percentiles!r}", file=sys.stderr)
+        return 2
+    rows = index.stats(args.scenario, metrics, percentiles=percentiles)
+    _print_rows(rows, None, args.json, f"{args.scenario}: metric statistics")
+    return 0
+
+
+def _cmd_results_rebuild(args: argparse.Namespace) -> int:
+    index, code = _open_query_index(args.store)
+    if index is None:
+        return code
+    for name in index.rebuild():
+        counts = index.counts(name)
+        print(
+            f"rebuilt {name}: {counts['records']} records, "
+            f"{counts['configurations']} configurations, "
+            f"{counts['failures']} quarantined"
+        )
+    return 0
+
+
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     if args.resume and not args.out:
         print("error: --resume requires --out (the store to resume from)", file=sys.stderr)
+        return 2
+    if args.cache_from and not args.out:
+        print(
+            "error: --cache-from requires --out (the primary store hits are "
+            "copied into)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_from and not Path(args.cache_from).is_dir():
+        print(f"error: --cache-from {args.cache_from} is not a directory", file=sys.stderr)
         return 2
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
@@ -386,6 +585,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         return 2
     out = Path(args.out) if args.out else None
     store = ResultStore(out / "store") if out else None
+    read_store = ResultStore(args.cache_from) if args.cache_from else None
     degraded = False
     try:
         for name in args.names:
@@ -403,6 +603,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                     config=config,
                     n_jobs=args.jobs,
                     store=store if spec.run_override is None else None,
+                    read_store=read_store if spec.run_override is None else None,
                     resume=args.resume,
                     progress=progress,
                     supervise=spec.run_override is None,
@@ -413,6 +614,18 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 print(f"\nerror: {error}", file=sys.stderr)
                 return 1
             print(file=sys.stderr)
+            cache = result.metadata.get("cache")
+            if cache:
+                shared = (
+                    f" ({cache['secondary_hits']} from --cache-from)"
+                    if cache["secondary_hits"]
+                    else ""
+                )
+                print(
+                    f"{name} cache: {cache['hits']}/{cache['total']} pairs served "
+                    f"from the store{shared}, {cache['executed']} executed",
+                    file=sys.stderr,
+                )
             degraded = _print_sweep_report(name, result) or degraded
             print(result.to_table())
             if args.plot:
@@ -441,6 +654,8 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     finally:
         if store is not None:
             store.close()
+        if read_store is not None:
+            read_store.close()
     if degraded:
         print(
             "error: one or more configurations were quarantined (see the "

@@ -22,6 +22,7 @@ __all__ = [
     "experiment_section",
     "scenario_plot",
     "scenario_columns",
+    "store_overview",
     "build_report",
     "write_report",
 ]
@@ -115,6 +116,42 @@ def experiment_section(
     return "\n".join(lines)
 
 
+def store_overview(store) -> str:
+    """Markdown section summarising a result store's scenario files.
+
+    Served from the store's SQLite query index when enabled (no JSONL
+    re-scan); falls back to :meth:`ResultStore.index` otherwise.
+    """
+    index = store.query_index
+    if index is not None:
+        rows = [
+            {"scenario": name, **index.counts(name)}
+            for name in index.scenario_names()
+        ]
+        source = "SQLite query index"
+    else:
+        rows = [
+            {
+                "scenario": name,
+                "records": summary["records"],
+                "configurations": summary["configurations"],
+                "failures": summary["failures"],
+            }
+            for name, summary in store.index().items()
+        ]
+        source = "full JSONL scan"
+    lines = [
+        "## Result store",
+        "",
+        f"Per-run records persisted under `{store.directory}` "
+        f"(counts served by the {source}; see `docs/caching.md`).",
+        "",
+        markdown_table(rows),
+        "",
+    ]
+    return "\n".join(lines)
+
+
 def build_report(
     results: Sequence[ExperimentResult],
     *,
@@ -123,6 +160,7 @@ def build_report(
     columns: Optional[Mapping[str, Sequence[str]]] = None,
     plots: Optional[Mapping[str, str]] = None,
     auto_plots: bool = False,
+    store=None,
 ) -> str:
     """Assemble the full Markdown report from experiment results.
 
@@ -140,6 +178,9 @@ def build_report(
     auto_plots:
         Render each experiment's ASCII plot from its scenario spec's render
         hints when no explicit plot is supplied.
+    store:
+        Optional :class:`~repro.io.store.ResultStore`; when given, a
+        :func:`store_overview` section (index-served counts) is appended.
     """
     lines: List[str] = [f"# {title}", ""]
     if preamble:
@@ -152,6 +193,8 @@ def build_report(
         if selected is None:
             selected = scenario_columns(result)
         lines.append(experiment_section(result, columns=selected, plot=plot))
+    if store is not None:
+        lines.append(store_overview(store))
     return "\n".join(lines)
 
 

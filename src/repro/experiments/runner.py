@@ -9,7 +9,9 @@ the spec-independent building blocks:
 * a protocol factory mapping protocol names to configured protocol objects,
 * the picklable task functions executed for each pair (so sweeps can run on a
   process pool),
-* :func:`aggregate_records`, the default group-and-average aggregation, and
+* :func:`aggregate_records`, the default group-and-average aggregation
+  (re-exported from :mod:`repro.analysis.statistics`, where it is shared
+  with the store's SQLite query index), and
 * :class:`ExperimentResult`, the uniform result container with helpers for
   rendering and persistence.
 """
@@ -18,11 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..analysis.statistics import summarize
+from ..analysis.statistics import aggregate_records
 from ..analysis.sweep import SweepTask, expand_grid, run_sweep, stable_key_hash
 from ..core.fast_gossiping import FastGossiping
 from ..core.memory_gossiping import MemoryGossiping
@@ -332,40 +334,6 @@ class ExperimentResult:
         if self.raw_records:
             paths["raw_csv"] = save_csv(self.raw_records, directory / f"{self.name}_raw.csv")
         return paths
-
-
-def aggregate_records(
-    records: Sequence[Mapping[str, Any]],
-    group_by: Sequence[str],
-    metrics: Sequence[str],
-) -> List[Dict[str, Any]]:
-    """Group per-run records and average the named metrics within each group.
-
-    The output row contains the group keys, ``<metric>`` (mean),
-    ``<metric>_std`` and ``repetitions``.
-    """
-    groups: Dict[Tuple, List[Mapping[str, Any]]] = {}
-    order: List[Tuple] = []
-    for record in records:
-        key = tuple(record[k] for k in group_by)
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(record)
-    rows: List[Dict[str, Any]] = []
-    for key in order:
-        members = groups[key]
-        row: Dict[str, Any] = {k: v for k, v in zip(group_by, key)}
-        row["repetitions"] = len(members)
-        for metric in metrics:
-            values = [float(m[metric]) for m in members if metric in m and m[metric] is not None]
-            if not values:
-                continue
-            stats = summarize(values)
-            row[metric] = stats.mean
-            row[f"{metric}_std"] = stats.std
-        rows.append(row)
-    return rows
 
 
 def run_gossip_sweep(

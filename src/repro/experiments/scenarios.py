@@ -43,7 +43,7 @@ from ..analysis.supervisor import (
 )
 from ..analysis.sweep import SweepTask, expand_grid, run_sweep
 from ..engine.chaos import ChaosSpec, FaultPlan, corrupt_last_line
-from ..io.store import ResultStore, config_hash
+from ..io.store import ResultStore, StoreEntry, config_hash
 from .runner import ExperimentResult, aggregate_records
 
 __all__ = [
@@ -234,6 +234,7 @@ def run_scenario(
     profile: str = "default",
     n_jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    read_store: Optional[Any] = None,
     resume: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
     supervise: bool = False,
@@ -262,7 +263,18 @@ def run_scenario(
         Optional :class:`~repro.io.store.ResultStore`; every completed
         (configuration, repetition) record is appended to it the moment it
         finishes, and aggregation reads the JSON-round-tripped records so
-        fresh and resumed runs are record-identical.
+        fresh and resumed runs are record-identical.  The store doubles as a
+        read-through cache: pairs already persisted (with matching derived
+        seeds) are served without executing any simulation, and
+        ``metadata["cache"]`` reports ``total`` / ``hits`` /
+        ``primary_hits`` / ``secondary_hits`` / ``executed``.
+    read_store:
+        Optional secondary *read-only* cache (a :class:`ResultStore` or a
+        store directory path) — e.g. a team-shared result store.  Requires
+        ``store``.  Pairs missing from the primary store but present in the
+        secondary (same config hash, repetition and derived seed) are copied
+        into the primary store instead of being executed; quarantined
+        failures and corrupt lines in the secondary never satisfy a hit.
     resume:
         With ``store``: skip pairs already persisted.  Without ``resume``,
         a store that already holds records for this scenario is an error
@@ -340,6 +352,9 @@ def run_scenario(
             spec.task, exec_tasks, n_jobs=n_jobs, progress=progress, on_result=on_result
         )
 
+    if read_store is not None and store is None:
+        raise ValueError("read_store requires a primary store to copy hits into")
+
     if store is not None:
         completed = store.completed_entries(spec.name)
         # Any pre-existing record (or quarantine failure) is a conflict
@@ -350,25 +365,50 @@ def run_scenario(
                 f"store already holds records for scenario {spec.name!r}; "
                 "pass resume=True (--resume) to continue, or use a fresh store"
             )
+        secondary: Dict[Tuple[str, int], StoreEntry] = {}
+        if read_store is not None:
+            if not isinstance(read_store, ResultStore):
+                read_store = ResultStore(read_store)
+            # completed_entries already excludes quarantined failures and
+            # CRC-skipped corrupt lines — those never satisfy a cache hit.
+            secondary = read_store.completed_entries(spec.name)
         by_pair: Dict[Tuple[str, int], Dict[str, Any]] = {}
         pending: List[SweepTask] = []
         pending_pairs: List[Tuple[str, int]] = []
+        primary_hits = 0
+        secondary_hits = 0
         for task, pair in zip(tasks, pairs):
             entry = completed.get(pair)
-            if entry is None:
-                pending.append(task)
-                pending_pairs.append(pair)
-            elif int(entry["seed"]) != task.seed:
-                # A pair persisted under a different base seed is stale, not
-                # resumable: serving it would mix seeds silently.
-                raise RuntimeError(
-                    f"store record for scenario {spec.name!r} (config {pair[0]}, "
-                    f"repetition {pair[1]}) was produced with seed {entry['seed']}, "
-                    f"but this sweep derives seed {task.seed}; rerun with the "
-                    "original base seed or use a fresh store"
-                )
-            else:
+            if entry is not None:
+                if int(entry["seed"]) != task.seed:
+                    # A pair persisted under a different base seed is stale,
+                    # not resumable: serving it would mix seeds silently.
+                    raise RuntimeError(
+                        f"store record for scenario {spec.name!r} (config {pair[0]}, "
+                        f"repetition {pair[1]}) was produced with seed {entry['seed']}, "
+                        f"but this sweep derives seed {task.seed}; rerun with the "
+                        "original base seed or use a fresh store"
+                    )
                 by_pair[pair] = entry["record"]
+                primary_hits += 1
+                continue
+            shared = secondary.get(pair)
+            if shared is not None and int(shared["seed"]) == task.seed:
+                # Read-through: copy the shared record into the primary store
+                # so later runs hit locally.  A seed mismatch is a plain miss
+                # (the secondary store is someone else's cache, not an error).
+                by_pair[pair] = store.append(
+                    spec.name,
+                    key=task.key,
+                    params=task.params,
+                    repetition=task.repetition,
+                    seed=task.seed,
+                    record=shared["record"],
+                )
+                secondary_hits += 1
+                continue
+            pending.append(task)
+            pending_pairs.append(pair)
 
         def persist(index: int, task: SweepTask, record: Dict[str, Any]) -> Dict[str, Any]:
             pair = _task_pair(task)
@@ -400,8 +440,16 @@ def run_scenario(
 
         execute(pending, pending_pairs, persist, persist_failure if supervised else None)
         records = [by_pair[pair] for pair in pairs if pair in by_pair]
+        cache_info: Optional[Dict[str, int]] = {
+            "total": len(tasks),
+            "hits": primary_hits + secondary_hits,
+            "primary_hits": primary_hits,
+            "secondary_hits": secondary_hits,
+            "executed": len(pending),
+        }
     else:
         records = execute(tasks, pairs, None, None)
+        cache_info = None
 
     records = [record for record in records if record is not None]
     if spec.prepare_records is not None:
@@ -411,6 +459,11 @@ def run_scenario(
     else:
         rows = aggregate_records(records, spec.group_by, spec.metrics)
     metadata: Dict[str, Any] = dict(spec.metadata(config)) if spec.metadata else {}
+    if cache_info is not None:
+        metadata["cache"] = cache_info
+        if report is not None:
+            report.cache_hits = cache_info["hits"]
+            report.executed = cache_info["executed"]
     if report is not None:
         metadata["sweep_report"] = report.to_jsonable()
     if spec.finalize is not None:

@@ -8,10 +8,13 @@ from .results import (
     save_json,
     to_jsonable,
 )
+from .index import QueryIndex, index_available
 from .store import ResultStore, StoreEntry, config_hash
 from .tables import format_records, format_table, format_value
 
 __all__ = [
+    "QueryIndex",
+    "index_available",
     "canonical_json",
     "load_csv",
     "load_json",

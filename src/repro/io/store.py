@@ -127,16 +127,48 @@ class ResultStore:
     lock_timeout:
         Seconds to wait for the per-scenario write lock before raising
         :class:`StoreLockTimeout`.
+    index:
+        Whether to maintain the compacted SQLite query index
+        (:mod:`repro.io.index`) next to the JSONL files.  ``None`` (the
+        default) enables it when ``sqlite3`` is importable and the
+        ``REPRO_DISABLE_STORE_INDEX`` environment variable is unset.  The
+        index is derived state: disabling it only routes reads through full
+        JSONL scans.
     """
 
-    def __init__(self, directory: Union[str, Path], *, lock_timeout: float = 30.0):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        lock_timeout: float = 30.0,
+        index: Optional[bool] = None,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.lock_timeout = float(lock_timeout)
+        if index is None:
+            index = not os.environ.get("REPRO_DISABLE_STORE_INDEX")
+        self._index_enabled = bool(index)
+        self._query_index: Optional[Any] = None
         # scenario -> {"entries", "pairs", "failures", "corrupt",
         #              "valid_end", "size", "truncated"}
         self._state: Dict[str, Dict[str, Any]] = {}
         self._handles: Dict[str, Any] = {}
+
+    @property
+    def query_index(self):
+        """Lazily constructed :class:`repro.io.index.QueryIndex`, or ``None``
+        when indexing is disabled (flag, env var or missing sqlite3)."""
+        if not self._index_enabled:
+            return None
+        if self._query_index is None:
+            from .index import QueryIndex, index_available
+
+            if not index_available():  # pragma: no cover - sqlite-less build
+                self._index_enabled = False
+                return None
+            self._query_index = QueryIndex(self)
+        return self._query_index
 
     # ------------------------------------------------------------------ #
     # Layout and scanning
@@ -340,12 +372,18 @@ class ResultStore:
         try:
             state = self._sync_under_lock(scenario, handle)
             data = line.encode("utf-8")
+            offset = state["size"]
             handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
             self._apply_entry(state, entry)
-            state["valid_end"] = state["size"] + len(data)
-            state["size"] += len(data)
+            state["valid_end"] = offset + len(data)
+            state["size"] = offset + len(data)
+            query_index = self.query_index
+            if query_index is not None:
+                # Still under the flock: the index sees each append exactly
+                # where the file write put it (fast single-line path).
+                query_index.note_append(scenario, entry, data, offset)
         finally:
             self._release_lock(handle)
         return entry
@@ -417,6 +455,8 @@ class ResultStore:
                     pass
                 handle.close()
         self._handles.clear()
+        if self._query_index is not None:
+            self._query_index.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -434,7 +474,13 @@ class ResultStore:
         byte-identical regardless of the completion (append) order.  The
         sweep engine's own exports (``ExperimentResult.save``) instead use
         deterministic task order.  Failure entries are not exported.
+
+        When the query index is enabled the export is served from it (the
+        differential harness pins byte-identity between the two paths).
         """
+        query_index = self.query_index
+        if query_index is not None:
+            return query_index.export(scenario, directory)
         state = self._scan(scenario)
         pairs = state["pairs"]
         records = [pairs[pair]["record"] for pair in sorted(pairs)]

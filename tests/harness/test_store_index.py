@@ -1,0 +1,96 @@
+"""Property-based differential harness: SQLite query index vs full JSONL scan.
+
+Seeded random programs (:mod:`store_programs`) mix store-mediated appends
+(records and quarantined failures), crc-less legacy lines, same-length
+in-place garbles, raw byte corruption and tail truncation, then compare
+every index-served answer — completed view, records, active failures,
+counts, byte-identical exports, grouped aggregates, metric statistics, and
+all of it again after a from-scratch ``rebuild()`` — against a fresh
+full-JSONL-scan recompute through ``ResultStore(dir, index=False)``.
+
+On failure the program is delta-debugged to a locally-minimal op sequence
+and the assertion message prints it along with the seed and replay
+instructions.
+
+``REPRO_HARNESS_PROGRAMS`` scales the number of programs (default 15
+locally; CI runs 200+).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+pytest.importorskip("sqlite3")
+
+from store_programs import (
+    OP_KINDS,
+    describe_failure,
+    generate_program,
+    run_program,
+    shrink_program,
+)
+
+#: Programs per run.  The local default keeps `pytest -q` fast; the CI
+#: harness leg raises it to 200+.
+N_PROGRAMS = int(os.environ.get("REPRO_HARNESS_PROGRAMS", "15"))
+
+#: Base seed; program k uses BASE_SEED + k.
+BASE_SEED = 770000
+
+
+def test_programs_match_scan() -> None:
+    for k in range(N_PROGRAMS):
+        program = generate_program(BASE_SEED + k)
+        failure = run_program(program)
+        if failure is None:
+            continue
+        # Shrink before reporting: re-run smaller candidate programs and
+        # keep deletions that still diverge anywhere.
+        minimal = shrink_program(program, lambda p: run_program(p) is not None)
+        final = run_program(minimal)
+        pytest.fail(describe_failure(minimal, final or failure))
+
+
+def test_program_generation_is_deterministic() -> None:
+    a = generate_program(BASE_SEED)
+    b = generate_program(BASE_SEED)
+    assert a == b
+
+
+def test_generator_covers_all_op_kinds() -> None:
+    seen = set()
+    for k in range(200):
+        seen.update(kind for kind, _ in generate_program(BASE_SEED + k)["ops"])
+    assert seen == set(OP_KINDS)
+
+
+def test_generator_emits_corruption_and_failure_entries() -> None:
+    """The interesting ops (corruption, quarantine, legacy) are not rare."""
+    counts = {kind: 0 for kind in OP_KINDS}
+    for k in range(100):
+        for kind, _ in generate_program(BASE_SEED + k)["ops"]:
+            counts[kind] += 1
+    for kind in ("garble_value", "garble_raw", "truncate", "failure", "legacy"):
+        assert counts[kind] >= 10, counts
+
+
+def test_every_program_ends_with_a_check() -> None:
+    for k in range(50):
+        assert generate_program(BASE_SEED + k)["ops"][-1] == ("check", {})
+
+
+def test_shrinker_minimizes_injected_failure() -> None:
+    """The shrinker reduces a synthetic failure to its single guilty op."""
+    program = generate_program(BASE_SEED)
+    assert len(program["ops"]) >= 3
+    poison = ("legacy", {"config": 0, "rep": 0, "value": 999})
+
+    def fails(p) -> bool:
+        return poison in p["ops"]
+
+    program = dict(program)
+    program["ops"] = program["ops"][:2] + [poison] + program["ops"][2:]
+    minimal = shrink_program(program, fails)
+    assert minimal["ops"] == [poison]

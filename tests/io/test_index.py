@@ -1,0 +1,358 @@
+"""Tests for the compacted SQLite query index (repro.io.index).
+
+The load-bearing guarantees:
+
+* every index-served view (completed / records / failures / query / stats /
+  aggregate / export) equals a fresh full-JSONL-scan recompute,
+* the index follows external appends, in-place corruption (prefix-CRC
+  mismatch -> rebuild) and truncation without ever serving stale rows,
+* CRC-skipped lines and quarantined ``failure`` entries never satisfy an
+  index-served query (the PR 6 resume-index rules),
+* two processes appending under the per-append flock plus a concurrent
+  reader leave an index state equal to a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+pytest.importorskip("sqlite3")
+
+from repro.analysis.statistics import aggregate_records, summarize
+from repro.io import ResultStore, index_available
+from repro.io.index import QueryIndex, nearest_rank
+from repro.io.store import config_hash
+
+
+def _populate(directory, configs=3, reps=2):
+    store = ResultStore(directory)
+    for c in range(configs):
+        for r in range(reps):
+            store.append(
+                "demo",
+                key=["cfg", c],
+                params={"c": c},
+                repetition=r,
+                seed=c * 100 + r,
+                record={
+                    "n": 64 * (c + 1),
+                    "rounds": float(10 * c + r),
+                    "proto": ("push", "pull")[c % 2],
+                    "ok": bool(r % 2),
+                    "series": [c, r],
+                },
+            )
+    return store
+
+
+def _scan(directory):
+    return ResultStore(directory, index=False)
+
+
+class TestAvailability:
+    def test_index_available_here(self):
+        assert index_available()
+
+    def test_env_var_disables_index(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_STORE_INDEX", "1")
+        store = _populate(tmp_path)
+        assert store.query_index is None
+        # Export still works through the scan path; no sqlite file appears.
+        store.export("demo", tmp_path / "out")
+        store.close()
+        assert not (tmp_path / "index.sqlite").exists()
+
+    def test_explicit_flag_disables_index(self, tmp_path):
+        store = ResultStore(tmp_path, index=False)
+        store.append("demo", key="k", params={}, repetition=0, seed=1, record={"v": 1})
+        store.close()
+        assert not (tmp_path / "index.sqlite").exists()
+
+    def test_index_file_is_invisible_to_scenario_glob(self, tmp_path):
+        store = _populate(tmp_path)
+        assert store.query_index is not None
+        store.query_index.refresh("demo")
+        store.close()
+        assert (tmp_path / "index.sqlite").exists()
+        assert list(ResultStore(tmp_path).index()) == ["demo"]
+
+
+class TestIndexMatchesScan:
+    def test_completed_records_failures(self, tmp_path):
+        store = _populate(tmp_path)
+        store.append_failure(
+            "demo",
+            key=["cfg", 9],
+            params={"c": 9},
+            repetition=0,
+            seed=900,
+            failure={"kind": "error", "message": "boom"},
+        )
+        index = store.query_index
+        scan = _scan(tmp_path)
+        assert index.completed("demo") == scan.completed("demo")
+        assert index.records("demo") == scan.records("demo")
+        assert index.failures("demo") == scan.failures("demo")
+        store.close()
+
+    def test_record_supersedes_failure_and_vice_versa(self, tmp_path):
+        store = ResultStore(tmp_path)
+        kwargs = dict(key=["cfg", 0], params={"c": 0}, repetition=0, seed=5)
+        store.append_failure("demo", failure={"kind": "error", "message": "x"}, **kwargs)
+        store.append("demo", record={"v": 1}, **kwargs)
+        index = store.query_index
+        assert index.failures("demo") == {}
+        assert list(index.completed("demo").values()) == [{"v": 1}]
+        # A failure after a record leaves the pair completed (scanner rule:
+        # failures never pop completed pairs) but also listed as failed.
+        store.append_failure("demo", failure={"kind": "error", "message": "y"}, **kwargs)
+        scan = _scan(tmp_path)
+        assert index.completed("demo") == scan.completed("demo") != {}
+        assert index.failures("demo") == scan.failures("demo") != {}
+        store.close()
+
+    def test_export_byte_identical_to_scan_export(self, tmp_path):
+        store = _populate(tmp_path / "store")
+        store.query_index.export("demo", tmp_path / "via_index")
+        _scan(tmp_path / "store").export("demo", tmp_path / "via_scan")
+        store.close()
+        for name in ("demo_records.json", "demo_records.csv"):
+            assert (tmp_path / "via_index" / name).read_bytes() == (
+                tmp_path / "via_scan" / name
+            ).read_bytes()
+
+    def test_aggregate_matches_shared_aggregator_on_scan(self, tmp_path):
+        store = _populate(tmp_path, configs=4, reps=3)
+        pairs = _scan(tmp_path).completed_entries("demo")
+        records = [pairs[pair]["record"] for pair in sorted(pairs)]
+        expected = aggregate_records(records, group_by=["n"], metrics=["rounds"])
+        assert store.query_index.aggregate("demo", ["n"], ["rounds"]) == expected
+        store.close()
+
+    def test_stats_pinned_to_sorted_scan_values(self, tmp_path):
+        store = _populate(tmp_path, configs=4, reps=3)
+        pairs = _scan(tmp_path).completed_entries("demo")
+        values = sorted(
+            float(pairs[pair]["record"]["rounds"]) for pair in sorted(pairs)
+        )
+        stats = summarize(values)
+        (row,) = store.query_index.stats("demo", ["rounds"], percentiles=(50, 90))
+        store.close()
+        assert row == {
+            "metric": "rounds",
+            "count": stats.count,
+            "mean": stats.mean,
+            "std": stats.std,
+            "min": stats.minimum,
+            "max": stats.maximum,
+            "p50": nearest_rank(values, 50),
+            "p90": nearest_rank(values, 90),
+        }
+
+    def test_query_filters_and_limit(self, tmp_path):
+        store = _populate(tmp_path)
+        index = store.query_index
+        rows = index.query("demo", where={"proto": "push"})
+        assert rows and all(row["proto"] == "push" for row in rows)
+        assert {"config", "repetition", "seed"} <= set(rows[0])
+        assert len(index.query("demo", limit=2)) == 2
+        assert index.query("demo", where={"n": 9999}) == []
+        store.close()
+
+    def test_metric_names_are_numeric_non_bool_fields(self, tmp_path):
+        store = _populate(tmp_path)
+        assert store.query_index.metric_names("demo") == ["n", "rounds"]
+        store.close()
+
+    def test_counts(self, tmp_path):
+        store = _populate(tmp_path, configs=3, reps=2)
+        assert store.query_index.counts("demo") == {
+            "records": 6,
+            "configurations": 3,
+            "failures": 0,
+        }
+        store.close()
+
+
+class TestInvalidation:
+    def test_external_append_is_picked_up(self, tmp_path):
+        writer_a = _populate(tmp_path)
+        index = writer_a.query_index
+        assert len(index.records("demo")) == 6
+        writer_b = ResultStore(tmp_path)
+        writer_b.append(
+            "demo", key=["cfg", 9], params={"c": 9}, repetition=0, seed=9, record={"n": 1}
+        )
+        writer_b.close()
+        assert len(index.records("demo")) == 7
+        writer_a.close()
+
+    def test_in_place_garble_invalidates_via_prefix_crc(self, tmp_path):
+        store = _populate(tmp_path)
+        index = store.query_index
+        index.refresh("demo")  # fully indexed, CRC chained over all lines
+        path = tmp_path / "demo.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Same-length in-place tamper: file size unchanged, only the CRC
+        # chain can notice.  Keeps valid JSON so the line CRC must catch it.
+        assert b'"rounds":1.0' in lines[1]
+        lines[1] = lines[1].replace(b'"rounds":1.0', b'"rounds":7.0')
+        path.write_bytes(b"".join(lines))
+        scan = _scan(tmp_path)
+        assert index.completed("demo") == scan.completed("demo")
+        assert len(index.records("demo")) == 5  # corrupt line never served
+        assert len(scan.corruption("demo")) == 1
+        store.close()
+
+    def test_truncation_invalidates(self, tmp_path):
+        store = _populate(tmp_path)
+        index = store.query_index
+        index.refresh("demo")
+        path = tmp_path / "demo.jsonl"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - len(data.splitlines(keepends=True)[-1]) - 3])
+        scan = _scan(tmp_path)
+        assert index.completed("demo") == scan.completed("demo")
+        assert index.records("demo") == scan.records("demo")
+        store.close()
+
+    def test_append_after_external_truncation_reindexes(self, tmp_path):
+        store = _populate(tmp_path)
+        store.query_index.refresh("demo")
+        path = tmp_path / "demo.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:3]))
+        # note_append sees indexed_end != offset and falls back to a full
+        # catch-up without re-acquiring the already-held flock.
+        store.append(
+            "demo", key=["cfg", 9], params={"c": 9}, repetition=0, seed=9, record={"n": 5}
+        )
+        scan = _scan(tmp_path)
+        assert store.query_index.records("demo") == scan.records("demo")
+        assert len(scan.records("demo")) == 4
+        store.close()
+
+    def test_legacy_crc_less_lines_are_indexed(self, tmp_path):
+        from repro.io.results import canonical_json
+
+        path = tmp_path / "demo.jsonl"
+        legacy = {
+            "config": config_hash(["k", 0], {"x": 0}),
+            "key": ["k", 0],
+            "repetition": 0,
+            "seed": 5,
+            "record": {"value": 41},
+        }
+        path.write_text(canonical_json(legacy) + "\n")
+        store = ResultStore(tmp_path)
+        assert store.query_index.records("demo") == [{"value": 41}]
+        store.close()
+
+    def test_deleted_scenario_file_clears_rows(self, tmp_path):
+        store = _populate(tmp_path)
+        index = store.query_index
+        index.refresh("demo")
+        store.close()
+        (tmp_path / "demo.jsonl").unlink()
+        assert index.records("demo") == []
+        assert index.counts("demo") == {"records": 0, "configurations": 0, "failures": 0}
+        index.close()
+
+    def test_rebuild_equals_incremental_state(self, tmp_path):
+        store = _populate(tmp_path)
+        store.append_failure(
+            "demo",
+            key=["cfg", 0],
+            params={"c": 0},
+            repetition=0,
+            seed=0,
+            failure={"kind": "error", "message": "x"},
+        )
+        index = store.query_index
+        before = (index.completed("demo"), index.records("demo"), index.failures("demo"))
+        assert index.rebuild() == ["demo"]
+        after = (index.completed("demo"), index.records("demo"), index.failures("demo"))
+        assert before == after
+        store.close()
+
+    def test_schema_version_mismatch_drops_and_rebuilds(self, tmp_path):
+        store = _populate(tmp_path)
+        index = store.query_index
+        index.refresh("demo")
+        con = index._connect()
+        con.execute("UPDATE meta SET value = '0' WHERE key = 'schema'")
+        index.close()
+        fresh = ResultStore(tmp_path)
+        assert fresh.query_index.records("demo") == _scan(tmp_path).records("demo")
+        fresh.close()
+        store.close()
+
+    def test_wide_ints_survive_via_json_body(self, tmp_path):
+        store = ResultStore(tmp_path)
+        huge = 2**70  # does not fit SQLite INTEGER; must stay JSON-only
+        big = 2**62  # fits 64-bit exactly; REAL would corrupt it
+        store.append(
+            "demo", key="k", params={}, repetition=0, seed=1,
+            record={"huge": huge, "big": big},
+        )
+        index = store.query_index
+        assert list(index.completed("demo").values()) == [{"huge": huge, "big": big}]
+        (row,) = index.stats("demo", ["big"])
+        assert row["min"] == float(big)
+        assert index.stats("demo", ["huge"]) == []  # not compacted, not lost
+        store.close()
+
+
+def _indexed_writer(directory: str, writer: int, count: int) -> None:
+    """Module-level multiprocessing target: append with the index enabled."""
+    store = ResultStore(directory)
+    for index in range(count):
+        store.append(
+            "demo",
+            key=["w", writer],
+            params={"writer": writer},
+            repetition=index,
+            seed=writer * 1000 + index,
+            record={"writer": writer, "index": index, "cost": float(index)},
+        )
+    store.close()
+
+
+class TestConcurrency:
+    def test_two_writers_one_reader_end_in_rebuild_equal_state(self, tmp_path):
+        pytest.importorskip("fcntl")
+        import multiprocessing
+
+        count = 20
+        context = multiprocessing.get_context("spawn")
+        workers = [
+            context.Process(target=_indexed_writer, args=(str(tmp_path), w, count))
+            for w in (0, 1)
+        ]
+        for worker in workers:
+            worker.start()
+        # Read-through queries while both writers are appending: every call
+        # must return a consistent prefix of the final state, never error.
+        reader = ResultStore(tmp_path)
+        seen = 0
+        while any(worker.is_alive() for worker in workers):
+            completed = reader.query_index.completed("demo")
+            assert len(completed) >= seen  # monotone: the store only grows
+            seen = len(completed)
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        scan = _scan(tmp_path)
+        final = reader.query_index.completed("demo")
+        assert len(final) == 2 * count
+        assert final == scan.completed("demo")
+        # The incrementally-built index equals a from-scratch rebuild.
+        records_before = reader.query_index.records("demo")
+        reader.query_index.rebuild("demo")
+        assert reader.query_index.records("demo") == records_before == scan.records("demo")
+        assert reader.query_index.failures("demo") == {}
+        assert not scan.corruption("demo")
+        reader.close()

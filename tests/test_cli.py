@@ -219,3 +219,123 @@ class TestOtherCommands:
         assert code == 0
         assert "mean_degree" in out
         assert "connected" in out
+
+
+@pytest.fixture(scope="module")
+def smoke_store(tmp_path_factory):
+    """One figure2 smoke run whose store backs the `repro results` tests."""
+    out_dir = tmp_path_factory.mktemp("results-cli")
+    assert main(["scenarios", "run", "figure2", "--smoke", "--out", str(out_dir)]) == 0
+    return out_dir / "store"
+
+
+class TestResultsCommand:
+    def test_stats_overview(self, smoke_store, capsys):
+        code = main(["results", "stats", str(smoke_store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure2" in out
+        assert "records" in out
+
+    def test_stats_metrics(self, smoke_store, capsys):
+        code = main(["results", "stats", str(smoke_store), "figure2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metric" in out
+        assert "p50" in out and "p99" in out
+
+    def test_stats_group_by_json(self, smoke_store, capsys):
+        code = main(
+            [
+                "results", "stats", str(smoke_store), "figure2",
+                "--group-by", "n", "--metrics", "rounds", "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert rows and all("n" in row and "repetitions" in row for row in rows)
+
+    def test_query_json_rows_carry_identity(self, smoke_store, capsys):
+        code = main(["results", "query", str(smoke_store), "figure2", "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert rows and {"config", "repetition", "seed"} <= set(rows[0])
+
+    def test_query_where_and_limit(self, smoke_store, capsys):
+        code = main(
+            [
+                "results", "query", str(smoke_store), "figure2",
+                "--where", "repetition=0", "--limit", "1", "--json",
+            ]
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(rows) == 1
+        assert rows[0]["repetition"] == 0
+
+    def test_query_bad_where(self, smoke_store, capsys):
+        code = main(["results", "query", str(smoke_store), "figure2", "--where", "oops"])
+        assert code == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err
+
+    def test_rebuild(self, smoke_store, capsys):
+        code = main(["results", "rebuild", str(smoke_store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rebuilt figure2" in out
+
+    def test_missing_store_dir(self, tmp_path, capsys):
+        code = main(["results", "stats", str(tmp_path / "nope")])
+        assert code == 2
+        assert "not a store directory" in capsys.readouterr().err
+
+    def test_disabled_index_is_an_error(self, smoke_store, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_STORE_INDEX", "1")
+        code = main(["results", "stats", str(smoke_store)])
+        assert code == 2
+        assert "REPRO_DISABLE_STORE_INDEX" in capsys.readouterr().err
+
+
+class TestCacheFromOption:
+    def test_cache_from_requires_out(self, capsys):
+        code = main(
+            ["scenarios", "run", "figure2", "--smoke", "--cache-from", "/tmp/x"]
+        )
+        assert code == 2
+        assert "--cache-from requires --out" in capsys.readouterr().err
+
+    def test_cache_from_must_be_directory(self, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "run", "figure2", "--smoke",
+                "--out", str(tmp_path / "out"),
+                "--cache-from", str(tmp_path / "missing"),
+            ]
+        )
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_cache_from_serves_all_pairs(self, smoke_store, tmp_path, capsys):
+        code = main(
+            [
+                "scenarios", "run", "figure2", "--smoke",
+                "--out", str(tmp_path / "fresh"),
+                "--cache-from", str(smoke_store),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "from --cache-from" in captured.err
+        assert "0 executed" in captured.err
+
+    def test_warm_rerun_reports_full_cache(self, smoke_store, capsys):
+        code = main(
+            [
+                "scenarios", "run", "figure2", "--smoke",
+                "--out", str(smoke_store.parent), "--resume",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache:" in captured.err
+        assert "0 executed" in captured.err
