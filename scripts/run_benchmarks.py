@@ -258,6 +258,102 @@ def protocol_entry(protocol, graph, seed: int, repeats: int) -> Dict[str, object
         "rounds_per_s": round(result.rounds / wall, 2) if wall > 0 else None,
         "total_messages": int(result.total_messages()),
         "backend_wall_clock_ms": per_backend,
+        "saturation_filter": saturation_filter_entry(result),
+    }
+
+
+def simd_entry(n: int, repeats: int) -> Optional[Dict[str, object]]:
+    """Per-kernel scalar-vs-SIMD timings on the serial C backend.
+
+    Times the swap-form exchange round, the scatter batch and the fused
+    recount at every instruction-set level this CPU can run (scalar / sse2 /
+    avx2 / avx512, :func:`repro.engine._ckernel.set_simd_level`), plus a
+    ``REPRO_DISABLE_SIMD=1`` control run in a fresh subprocess proving the
+    environment override actually lands on the scalar path.
+    """
+    if not _ckernel.available():
+        return None
+    rng = make_rng(31)
+    km = KnowledgeMatrix(n)
+    nodes = np.arange(n, dtype=np.int64)
+    targets = rng.integers(0, n, n).astype(np.int64)
+    senders = rng.integers(0, n, 2 * n).astype(np.int64)
+    receivers = rng.integers(0, n // 2, 2 * n).astype(np.int64)
+    mask = km.full_row_mask()
+    detected = _ckernel.simd_detected()
+    original = _ckernel.simd_active()
+    entry: Dict[str, object] = {
+        "n": n,
+        "detected": _ckernel.simd_name(detected),
+        "active": _ckernel.simd_name(),
+        "disabled_by_env": bool(os.environ.get("REPRO_DISABLE_SIMD")),
+        "levels": {},
+    }
+    try:
+        with backends.use(backends.CSerialBackend()):
+            for level in range(detected + 1):
+                _ckernel.set_simd_level(level)
+                exchange, _ = best_of(
+                    lambda: km.apply_exchange(nodes, targets), repeats
+                )
+                scatter, _ = best_of(
+                    lambda: km.apply_transmissions(senders, receivers), repeats
+                )
+                recount, _ = best_of(lambda: km.count_missing(mask, nodes), repeats)
+                entry["levels"][_ckernel.simd_name(level)] = {
+                    "exchange_round_ms": round(exchange * 1000, 4),
+                    "scatter_batch_ms": round(scatter * 1000, 4),
+                    "recount_ms": round(recount * 1000, 4),
+                }
+    finally:
+        _ckernel.set_simd_level(original)
+    levels = entry["levels"]
+    best_name = _ckernel.simd_name(detected)
+    if "scalar" in levels and best_name in levels and best_name != "scalar":
+        entry["exchange_simd_speedup"] = round(
+            levels["scalar"]["exchange_round_ms"]
+            / levels[best_name]["exchange_round_ms"],
+            2,
+        )
+    # Control run: REPRO_DISABLE_SIMD must force the scalar dispatch in a
+    # fresh process (the env var is read once at library load).
+    src_dir = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+    control = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            (
+                "import sys, json; sys.path.insert(0, %r); "
+                "from repro.engine import _ckernel; "
+                "print(json.dumps({'available': _ckernel.available(), "
+                "'active': _ckernel.simd_name() if _ckernel.available() else None}))"
+            )
+            % src_dir,
+        ],
+        env={**os.environ, "REPRO_DISABLE_SIMD": "1"},
+        capture_output=True,
+        text=True,
+    )
+    if control.returncode == 0:
+        entry["disable_simd_control"] = json.loads(
+            control.stdout.strip().splitlines()[-1]
+        )
+    return entry
+
+
+def saturation_filter_entry(result) -> Optional[Dict[str, object]]:
+    """The saturation-filter hit rate of one finished protocol run."""
+    stats = getattr(result.knowledge, "filter_stats", None)
+    if not stats or not stats.get("rounds"):
+        return None
+    edges = int(stats["edges"])
+    dropped = int(stats["edges_dropped"])
+    return {
+        "filtered_rounds": int(stats["rounds"]),
+        "edges_seen": edges,
+        "edges_dropped": dropped,
+        "promotions": int(stats["promotions"]),
+        "drop_rate": round(dropped / edges, 4) if edges else None,
     }
 
 
@@ -490,7 +586,7 @@ def main() -> int:
 
     sizes = SIZES[:1] if args.quick else SIZES
     report: Dict[str, object] = {
-        "schema": "repro-bench-kernel/4",
+        "schema": "repro-bench-kernel/5",
         "description": (
             "Kernel benchmark baseline: full protocol runs and raw knowledge-"
             "kernel operations at fixed seeds (graph rng=5; protocol rngs: "
@@ -502,10 +598,15 @@ def main() -> int:
             "large_n runs full push-pull per storage layout at n=100000; "
             "aggregate_query times the same grouped aggregate over a "
             "synthetic result store via a full JSONL scan vs the SQLite "
-            "query index (docs/caching.md)."
+            "query index (docs/caching.md).  Schema 5 adds the simd section "
+            "(per-kernel scalar-vs-SIMD timings per instruction-set level at "
+            "the largest size, plus a REPRO_DISABLE_SIMD control subprocess), "
+            "the active/detected ISA in the header, and each protocol's "
+            "saturation_filter hit rate (docs/architecture.md)."
         ),
         "compiled_kernel": _ckernel.available(),
         "backend": backends.active().describe(),
+        "simd": backends.simd_info() if _ckernel.available() else None,
         "cpu_count": os.cpu_count(),
         "frontier": {
             "enabled": not bool(os.environ.get("REPRO_DISABLE_FRONTIER")),
@@ -553,6 +654,11 @@ def main() -> int:
                 )
         report["sizes"][str(n)] = entry
 
+    print("simd: per-ISA kernel timings ...", flush=True)
+    simd = simd_entry(max(sizes), args.repeats)
+    if simd is not None:
+        report["simd"] = simd
+
     if not (args.quick or args.skip_large):
         report["large_n"] = large_n_entry(LARGE_N, repeats=1)
 
@@ -592,6 +698,24 @@ def main() -> int:
                 f"t={t}:{ms:.2f}ms" for t, ms in kr["thread_scaling"].items()
             )
             print(f"  n={n:>6} {'exchange-threads':<15} {scaling}")
+    simd_report = report.get("simd")
+    if simd_report:
+        lines = "  ".join(
+            f"{name}:{row['exchange_round_ms']:.2f}ms"
+            for name, row in simd_report["levels"].items()
+        )
+        print(
+            f"  simd (n={simd_report['n']}, detected={simd_report['detected']}) "
+            f"exchange {lines}"
+        )
+    for n, entry in report["sizes"].items():
+        for proto in ("push-pull", "fast-gossiping", "memory"):
+            sat = entry[proto].get("saturation_filter")
+            if sat:
+                print(
+                    f"  n={n:>6} {proto:<15} filter: {sat['filtered_rounds']} rounds "
+                    f"drop_rate={sat['drop_rate']} promotions={sat['promotions']}"
+                )
     aq = report.get("aggregate_query")
     if aq:
         print(

@@ -188,6 +188,29 @@ class CompletionTracker:
         self._complete[promoted] = True
         self.incomplete -= int(promoted.size)
 
+    def refresh(self) -> None:
+        """Adopt deficits written in-place by a fused-recount exchange kernel.
+
+        The swap-form C kernels can compute ``popcount(mask & ~row)`` for each
+        row they rewrite while the row is still hot in cache, storing the
+        result straight into :attr:`deficits` (rows the kernel did not touch
+        keep their previous — still correct — deficit).  After such a round
+        the driver calls :meth:`refresh` instead of :meth:`update` /
+        :meth:`mark_promoted`: no rows are recounted here, only the derived
+        complete mask and incomplete counter are rebuilt from the deficits.
+        """
+        if self._relevant is not None:
+            # The kernel counts every row it rewrites, including irrelevant
+            # (dead) ones; clamp those back to zero so the nonzero count below
+            # keeps meaning "incomplete relevant nodes".
+            self.deficits[~self._relevant] = 0
+        done = (self.deficits == 0) & ~self._complete
+        if self._relevant is not None:
+            done &= self._relevant
+        if done.any():
+            self._complete[done] = True
+        self.incomplete = int(np.count_nonzero(self.deficits))
+
     def is_complete(self) -> bool:
         """True when every relevant node knows every relevant message."""
         return self.incomplete == 0

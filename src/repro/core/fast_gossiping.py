@@ -240,16 +240,22 @@ class FastGossiping(GossipProtocol):
                 channels.targets,
                 complete=tracker.complete_rows,
                 complete_row=tracker.mask,
+                deficit_mask=tracker.mask,
+                deficits_out=tracker.deficits,
             )
             ledger.record_pushes(channels.callers)
             ledger.record_pulls(channels.targets)
             ledger.end_round()
             trace.record(ledger.rounds - 1, "phase3-broadcast", knowledge)
             steps += 1
-            # The incremental tracker recounts only the rows touched this
-            # round, so completion is checked after every step.
-            tracker.update(touched)
-            tracker.mark_promoted(promoted)
+            if knowledge.fused_deficits:
+                # The swap-form kernel recounted changed rows in-kernel.
+                tracker.refresh()
+            else:
+                # The incremental tracker recounts only the rows touched this
+                # round, so completion is checked after every step.
+                tracker.update(touched)
+                tracker.mark_promoted(promoted)
             completed = tracker.is_complete()
         ledger.end_phase()
         return completed

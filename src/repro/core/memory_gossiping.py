@@ -190,7 +190,7 @@ def _concat(chunks: List[np.ndarray]) -> np.ndarray:
 
 
 class _ReplayBatcher:
-    """Merges consecutive replay step groups into single scatter-OR batches.
+    """Merges replay step groups into single scatter-OR batches.
 
     The Phase II/III replays apply one small edge group per recorded Phase I
     step, so at large ``n`` they are bound by per-group row gathers.  Two
@@ -201,28 +201,96 @@ class _ReplayBatcher:
     sequence.  (Duplicate receivers are already order-independent — every
     transmission of a batch ORs snapshot values.)
 
+    Groups whose senders *do* collide with pending receivers are merged as
+    well, through **transitive compensation**: if ``s -> r`` arrives while
+    edges ``x -> s`` are pending, the sequential replay would have ``s``
+    forward ``s_snapshot | x_snapshot``, so queueing the extra edges
+    ``x -> r`` next to ``s -> r`` reproduces exactly that value from the
+    common snapshot.  Compensation edges are recorded as pending edges into
+    ``r`` themselves, so chained collisions (``q -> p``, ``p -> s``,
+    ``s -> r``) compensate transitively.  A budget caps the edge inflation:
+    when the compensation fan-out for a group would exceed
+    ``max(64, 2 * group_size)`` the batcher flushes instead (the merge is an
+    optimisation, never a semantic requirement).
+
+    When a saturation filter is attached (``complete``/``complete_row``, no
+    failures only — the subset invariant must hold), :meth:`flush`
+    additionally drops edges into already-complete receivers and promotes
+    receivers fed by a complete sender to a direct row assignment, exactly
+    mirroring the filtered exchange kernels.  This collapses the Phase III
+    cascade — where most senders are complete — from edge-proportional OR
+    traffic to one row assignment per node.
+
     Only the knowledge update is batched.  Ledger accounting — opens, packet
     counters and ``end_round`` — stays with the caller per step group, so
     round counts and per-node costs are unchanged.
     """
 
-    __slots__ = ("_knowledge", "_receiver_hit", "_senders", "_receivers")
+    __slots__ = (
+        "_knowledge",
+        "_receiver_hit",
+        "_senders",
+        "_receivers",
+        "_complete",
+        "_mask",
+    )
 
-    def __init__(self, knowledge: KnowledgeMatrix) -> None:
+    def __init__(
+        self,
+        knowledge: KnowledgeMatrix,
+        *,
+        complete: Optional[np.ndarray] = None,
+        complete_row: Optional[np.ndarray] = None,
+    ) -> None:
         self._knowledge = knowledge
         self._receiver_hit = np.zeros(knowledge.n_nodes, dtype=bool)
         self._senders: List[np.ndarray] = []
         self._receivers: List[np.ndarray] = []
+        self._complete = complete
+        self._mask = complete_row
 
     def add(self, senders: np.ndarray, receivers: np.ndarray) -> None:
-        """Queue one step group, flushing first if any sender was written."""
+        """Queue one step group, compensating or flushing on collisions."""
         if senders.size == 0:
             return
         if self._senders and self._receiver_hit[senders].any():
-            self.flush()
+            if not self._add_compensated(senders, receivers):
+                self.flush()
         self._senders.append(senders)
         self._receivers.append(receivers)
         self._receiver_hit[receivers] = True
+
+    def _add_compensated(self, senders: np.ndarray, receivers: np.ndarray) -> bool:
+        """Queue compensation edges for colliding senders; False = over budget.
+
+        For every new edge ``s -> r`` whose sender has pending incoming edges
+        ``x -> s``, queue ``x -> r``: the receiver then ORs the same snapshot
+        rows the sequential replay would have forwarded through ``s``.
+        """
+        pending_s = _concat(self._senders)
+        pending_r = _concat(self._receivers)
+        order = np.argsort(pending_r, kind="stable")
+        pending_r_sorted = pending_r[order]
+        lo = np.searchsorted(pending_r_sorted, senders, side="left")
+        hi = np.searchsorted(pending_r_sorted, senders, side="right")
+        counts = hi - lo
+        comp_total = int(counts.sum())
+        if comp_total > max(64, 2 * senders.size):
+            return False
+        # Rank trick: for new-edge i with counts[i] pending predecessors,
+        # enumerate pending slots lo[i] .. hi[i]-1 without a Python loop.
+        starts = np.cumsum(counts) - counts
+        take = (
+            np.repeat(lo, counts)
+            + np.arange(comp_total, dtype=np.int64)
+            - np.repeat(starts, counts)
+        )
+        comp_senders = pending_s[order[take]]
+        comp_receivers = np.repeat(receivers, counts)
+        self._senders.append(comp_senders)
+        self._receivers.append(comp_receivers)
+        self._receiver_hit[comp_receivers] = True
+        return True
 
     def flush(self) -> None:
         """Apply all pending groups as one transmission batch."""
@@ -233,7 +301,30 @@ class _ReplayBatcher:
         self._senders.clear()
         self._receivers.clear()
         self._receiver_hit[receivers] = False
-        self._knowledge.apply_transmissions(senders, receivers)
+        if self._complete is None:
+            self._knowledge.apply_transmissions(senders, receivers)
+            return
+        # Saturation-filtered flush (no-failure runs only: every row is a
+        # subset of ``complete_row``, so an OR from a complete sender is an
+        # assignment and an OR into a complete receiver is a no-op).
+        total = int(senders.size)
+        live = ~self._complete[receivers]
+        senders, receivers = senders[live], receivers[live]
+        from_complete = self._complete[senders]
+        promoted = np.unique(receivers[from_complete])
+        rest_s = senders[~from_complete]
+        rest_r = receivers[~from_complete]
+        if promoted.size and rest_r.size:
+            # OR contributions into promoted rows are subsets of the mask the
+            # assignment below writes — dropping them is bit-exact.
+            keep = ~np.isin(rest_r, promoted)
+            rest_s, rest_r = rest_s[keep], rest_r[keep]
+        if rest_s.size:
+            self._knowledge.apply_transmissions(rest_s, rest_r)
+        if promoted.size:
+            self._knowledge.assign_rows(promoted, self._mask)
+            self._complete[promoted] = True
+        self._knowledge._note_filter(total, int(rest_s.size), int(promoted.size))
 
 
 class MemoryGossiping(GossipProtocol):
@@ -365,6 +456,20 @@ class MemoryGossiping(GossipProtocol):
         completed = False
         if not self.gather_only:
             ledger.begin_phase("phase3-broadcast")
+            # Saturation filter for the broadcast cascade (no-failure runs
+            # only: the subset invariant rows ⊆ mask is needed for the
+            # promotion shortcut).  The upfront scan replaces the full
+            # ``gossip_complete`` rescan this phase used to end with.
+            complete_row: Optional[np.ndarray] = None
+            complete: Optional[np.ndarray] = None
+            if alive_later is None:
+                complete_row = knowledge.full_row_mask()
+                complete = (
+                    knowledge.count_missing(
+                        complete_row, np.arange(n, dtype=np.int64)
+                    )
+                    == 0
+                )
             for tree in trees:
                 self._replay_broadcast(
                     tree,
@@ -372,10 +477,20 @@ class MemoryGossiping(GossipProtocol):
                     ledger,
                     alive=alive_later,
                     contacts=schedule.gather_contacts,
+                    complete=complete,
+                    complete_row=complete_row,
                 )
             trace.record(ledger.rounds - 1 if ledger.rounds else 0, "phase3-broadcast", knowledge)
             ledger.end_phase()
-            completed = gossip_complete(knowledge, alive_nodes)
+            if complete is not None:
+                # ``complete`` only ever marks truly saturated rows, so a
+                # residual check over the unmarked rows is the full predicate.
+                remaining = np.flatnonzero(~complete)
+                completed = remaining.size == 0 or not knowledge.count_missing(
+                    complete_row, remaining
+                ).any()
+            else:
+                completed = gossip_complete(knowledge, alive_nodes)
 
         extras: Dict[str, object] = {
             "leader": leader,
@@ -626,16 +741,21 @@ class MemoryGossiping(GossipProtocol):
         *,
         alive: Optional[np.ndarray],
         contacts: str = "all",
+        complete: Optional[np.ndarray] = None,
+        complete_row: Optional[np.ndarray] = None,
     ) -> None:
         # Forward chronological replay: every recorded contact forwards the
         # sender's current combined message.  Because a node's own informing
         # contact happened strictly before its outgoing contacts, the leader's
         # complete set cascades down the tree in a single pass.  As in
         # :meth:`_gather`, each per-step group reads start-of-round state, and
-        # consecutive groups with non-colliding senders are merged into single
-        # scatter-OR batches by :class:`_ReplayBatcher`.
+        # groups are merged into single scatter-OR batches by
+        # :class:`_ReplayBatcher` (colliding senders handled by transitive
+        # compensation).  ``complete``/``complete_row`` additionally turn the
+        # cascade's dominant complete-sender transmissions into one row
+        # assignment per receiver (no-failure runs only).
         push_parents, push_children, push_steps = self._selected_push_edges(tree, contacts)
-        batcher = _ReplayBatcher(knowledge)
+        batcher = _ReplayBatcher(knowledge, complete=complete, complete_row=complete_row)
         all_steps = np.concatenate([push_steps, tree.pull_steps])
         push_count = push_steps.size
         for edge_indices in _steps_ascending(all_steps):

@@ -103,11 +103,25 @@ class PushPullGossip(GossipProtocol):
         max_rounds = self.params.max_rounds(graph.n)
         tracker = CompletionTracker(knowledge, alive_nodes)
         completed = False
+        # Upper bound on any row's popcount, maintained per round: a receiver
+        # ends a round with at most its own row, one pull answer and one push
+        # per in-edge (``2 + indegree`` source rows).  While the bound stays
+        # below the mask popcount no row can be saturated, so the tracker's
+        # early-round full recounts (and the kernel's fused deficit counting)
+        # are provably dead work and are skipped — bit-identical, because the
+        # saturation filter sees an all-false complete mask either way.
+        mask_bits = int(np.bitwise_count(tracker.mask).sum())
+        known_bound = 1 if tracker.incomplete and not tracker.complete_rows.any() else mask_bits
         for round_index in range(max_rounds):
             channels = open_channels(graph, generator, participants=alive_nodes, alive=alive)
             # Every alive node opens a channel even if the callee turns out to
             # be failed; count the open per participant.
             ledger.record_opens(alive_nodes)
+
+            if known_bound < mask_bits:
+                indeg = np.bincount(channels.targets, minlength=graph.n).max()
+                known_bound = min(known_bound * (2 + int(indeg)), mask_bits)
+            track = known_bound >= mask_bits
 
             # One synchronous exchange: push (caller -> callee) and pull
             # (callee -> caller) both read start-of-step state inside the
@@ -117,8 +131,10 @@ class PushPullGossip(GossipProtocol):
             touched, promoted = knowledge.apply_exchange(
                 channels.callers,
                 channels.targets,
-                complete=tracker.complete_rows,
-                complete_row=tracker.mask,
+                complete=tracker.complete_rows if track else None,
+                complete_row=tracker.mask if track else None,
+                deficit_mask=tracker.mask if track else None,
+                deficits_out=tracker.deficits if track else None,
             )
             ledger.record_pushes(channels.callers)
             ledger.record_pulls(channels.targets)
@@ -126,11 +142,17 @@ class PushPullGossip(GossipProtocol):
             ledger.end_round()
             trace.record(round_index, "push-pull", knowledge)
 
-            tracker.update(touched)
-            tracker.mark_promoted(promoted)
-            if tracker.is_complete():
-                completed = True
-                break
+            if track:
+                if knowledge.fused_deficits:
+                    # The swap-form kernel already recounted every row it
+                    # changed straight into the tracker's deficits.
+                    tracker.refresh()
+                else:
+                    tracker.update(touched)
+                    tracker.mark_promoted(promoted)
+                if tracker.is_complete():
+                    completed = True
+                    break
 
         ledger.end_phase()
         return GossipResult(
@@ -194,19 +216,28 @@ class PushPullGossip(GossipProtocol):
             if group.openers.size:
                 ledger.record_opens(group.openers)
             if group.size:
+                # Fused deficit counting is safe even with churn (the count
+                # ``popcount(mask & ~row)`` is exact regardless of the subset
+                # invariant; ``refresh`` clamps not-finally-alive rows), so it
+                # is passed unconditionally — unlike the saturation filter.
                 touched, promoted = knowledge.apply_exchange(
                     group.callers,
                     group.targets,
                     complete=tracker.complete_rows if use_filter else None,
                     complete_row=tracker.mask if use_filter else None,
+                    deficit_mask=tracker.mask,
+                    deficits_out=tracker.deficits,
                 )
                 ledger.record_pushes(group.callers)
                 ledger.record_pulls(group.targets)
                 ledger.end_round()
                 trace.record(group_index, "push-pull", knowledge)
                 group_index += 1
-                tracker.update(touched)
-                tracker.mark_promoted(promoted)
+                if knowledge.fused_deficits:
+                    tracker.refresh()
+                else:
+                    tracker.update(touched)
+                    tracker.mark_promoted(promoted)
                 if tracker.is_complete():
                     completed = True
                     break

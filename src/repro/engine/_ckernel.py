@@ -24,13 +24,24 @@ any shard count; see ``docs/parallelism.md`` for the determinism argument.
 Callers do not pick a code path here — backend selection and per-batch
 thread counts live in :mod:`repro.engine.backends`.
 
+All kernel families run their word loops through a small set of
+runtime-dispatched row primitives (OR-2, OR-accumulate, masked popcount,
+frontier pair gather) with scalar, SSE2, AVX2 and AVX-512 variants
+selected per CPU at load time (``repro_simd_set``); ``REPRO_DISABLE_SIMD``
+pins the honest scalar forms, and :func:`set_simd_level` /
+:func:`simd_active` expose the dispatch to Python.  The swap-form kernels
+additionally accept a completion mask to fuse deficit recounts into the
+round and come in saturation-filtered variants
+(:func:`exchange_filtered`) that memcpy already-complete receiver rows
+instead of re-ORing them — see ``docs/architecture.md``.
+
 The build is strictly best-effort: if no compiler is present, the build
 fails, or ``REPRO_DISABLE_CKERNEL`` is set in the environment, callers fall
 back to the pure-NumPy implementations (which are semantically identical —
 see ``tests/engine/test_kernel_equivalence.py``).  The shared library is
-cached in a private per-user directory keyed on source hash and CPU
-signature, so repeated imports pay nothing and heterogeneous machines
-sharing a filesystem never load each other's ``-march=native`` binaries.
+cached in a private per-user directory keyed on source hash, build flags
+and CPU signature, so repeated imports pay nothing and heterogeneous
+machines sharing a filesystem never load each other's tuned binaries.
 """
 
 from __future__ import annotations
@@ -48,11 +59,14 @@ from typing import Optional
 import numpy as np
 
 __all__ = [
+    "SIMD_LEVELS",
     "available",
     "block_round",
     "block_round_mt",
     "ensure_shards",
     "exchange",
+    "exchange_filtered",
+    "exchange_filtered_mt",
     "exchange_mt",
     "push_round",
     "push_round_mt",
@@ -62,6 +76,10 @@ __all__ = [
     "recount_deficits_mt",
     "scatter_or",
     "scatter_or_mt",
+    "set_simd_level",
+    "simd_active",
+    "simd_detected",
+    "simd_name",
 ]
 
 _SOURCE = r"""
@@ -69,6 +87,301 @@ _SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
+
+/* ------------------------------------------------------------------ *
+ * Runtime-dispatched SIMD row primitives.
+ *
+ * Every kernel family below reduces to four row-sized operations:
+ *
+ *     or2      dst[w] = a[w] | b[w]          (swap-form first sender)
+ *     oracc    dst[w] |= src[w]              (every other OR)
+ *     missing  sum(popcount(mask & ~row))    (completion deficits)
+ *     fgather  row/linear-index pair gather  (frontier pass 1)
+ *
+ * Each has a portable scalar form plus x86 vector forms compiled with
+ * per-function target attributes (the TU itself is built WITHOUT
+ * -march=native, so an "avx2" function really is AVX2 and nothing
+ * wider).  repro_simd_set installs one level into the function
+ * pointers; levels are 0=scalar, 1=sse2, 2=avx2, 3=avx512.  Dispatch
+ * happens once per row, not per word, so the indirection is noise
+ * next to the word traffic.  The scalar forms carry a no-vectorize
+ * attribute so a level-0 run (REPRO_DISABLE_SIMD=1) is an honest
+ * scalar control, not whatever auto-vectorization -O3 felt like.
+ * ------------------------------------------------------------------ */
+
+#if defined(__x86_64__) || defined(__i386__)
+#define REPRO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define REPRO_SCALAR \
+    __attribute__((optimize("no-tree-vectorize,no-tree-slp-vectorize")))
+#else
+#define REPRO_SCALAR
+#endif
+
+typedef void (*repro_or2_fn)(uint64_t *, const uint64_t *, const uint64_t *,
+                             int64_t);
+typedef void (*repro_oracc_fn)(uint64_t *, const uint64_t *, int64_t);
+typedef int64_t (*repro_missing_fn)(const uint64_t *, const uint64_t *,
+                                    int64_t);
+typedef void (*repro_fgather_fn)(const uint64_t *, const int32_t *, int64_t,
+                                 int64_t, uint64_t *, int64_t *);
+
+static REPRO_SCALAR void repro_or2_scalar(uint64_t *dst, const uint64_t *a,
+                                          const uint64_t *b, int64_t words) {
+    for (int64_t w = 0; w < words; w++)
+        dst[w] = a[w] | b[w];
+}
+
+static REPRO_SCALAR void repro_oracc_scalar(uint64_t *dst, const uint64_t *src,
+                                            int64_t words) {
+    for (int64_t w = 0; w < words; w++)
+        dst[w] |= src[w];
+}
+
+static REPRO_SCALAR int64_t repro_missing_plain(const uint64_t *row,
+                                                const uint64_t *mask,
+                                                int64_t words) {
+    int64_t missing = 0;
+    for (int64_t w = 0; w < words; w++)
+        missing += __builtin_popcountll(mask[w] & ~row[w]);
+    return missing;
+}
+
+static REPRO_SCALAR void repro_fgather_scalar(const uint64_t *row,
+                                              const int32_t *aw, int64_t m,
+                                              int64_t base, uint64_t *val,
+                                              int64_t *lin) {
+    for (int64_t j = 0; j < m; j++) {
+        const int64_t w = aw[j];
+        val[j] = row[w];
+        lin[j] = base + w;
+    }
+}
+
+#ifdef REPRO_SIMD_X86
+
+__attribute__((target("sse2"))) static void
+repro_or2_sse2(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+               int64_t words) {
+    int64_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        __m128i x0 = _mm_or_si128(_mm_loadu_si128((const __m128i *)(a + w)),
+                                  _mm_loadu_si128((const __m128i *)(b + w)));
+        __m128i x1 =
+            _mm_or_si128(_mm_loadu_si128((const __m128i *)(a + w + 2)),
+                         _mm_loadu_si128((const __m128i *)(b + w + 2)));
+        _mm_storeu_si128((__m128i *)(dst + w), x0);
+        _mm_storeu_si128((__m128i *)(dst + w + 2), x1);
+    }
+    for (; w < words; w++)
+        dst[w] = a[w] | b[w];
+}
+
+__attribute__((target("sse2"))) static void
+repro_oracc_sse2(uint64_t *dst, const uint64_t *src, int64_t words) {
+    int64_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        __m128i x0 =
+            _mm_or_si128(_mm_loadu_si128((const __m128i *)(dst + w)),
+                         _mm_loadu_si128((const __m128i *)(src + w)));
+        __m128i x1 =
+            _mm_or_si128(_mm_loadu_si128((const __m128i *)(dst + w + 2)),
+                         _mm_loadu_si128((const __m128i *)(src + w + 2)));
+        _mm_storeu_si128((__m128i *)(dst + w), x0);
+        _mm_storeu_si128((__m128i *)(dst + w + 2), x1);
+    }
+    for (; w < words; w++)
+        dst[w] |= src[w];
+}
+
+__attribute__((target("avx2"))) static void
+repro_or2_avx2(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+               int64_t words) {
+    int64_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+        __m256i x0 =
+            _mm256_or_si256(_mm256_loadu_si256((const __m256i *)(a + w)),
+                            _mm256_loadu_si256((const __m256i *)(b + w)));
+        __m256i x1 =
+            _mm256_or_si256(_mm256_loadu_si256((const __m256i *)(a + w + 4)),
+                            _mm256_loadu_si256((const __m256i *)(b + w + 4)));
+        _mm256_storeu_si256((__m256i *)(dst + w), x0);
+        _mm256_storeu_si256((__m256i *)(dst + w + 4), x1);
+    }
+    for (; w < words; w++)
+        dst[w] = a[w] | b[w];
+}
+
+__attribute__((target("avx2"))) static void
+repro_oracc_avx2(uint64_t *dst, const uint64_t *src, int64_t words) {
+    int64_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+        __m256i x0 =
+            _mm256_or_si256(_mm256_loadu_si256((const __m256i *)(dst + w)),
+                            _mm256_loadu_si256((const __m256i *)(src + w)));
+        __m256i x1 = _mm256_or_si256(
+            _mm256_loadu_si256((const __m256i *)(dst + w + 4)),
+            _mm256_loadu_si256((const __m256i *)(src + w + 4)));
+        _mm256_storeu_si256((__m256i *)(dst + w), x0);
+        _mm256_storeu_si256((__m256i *)(dst + w + 4), x1);
+    }
+    for (; w < words; w++)
+        dst[w] |= src[w];
+}
+
+__attribute__((target("avx512f"))) static void
+repro_or2_avx512(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                 int64_t words) {
+    int64_t w = 0;
+    for (; w + 16 <= words; w += 16) {
+        __m512i x0 =
+            _mm512_or_si512(_mm512_loadu_si512((const void *)(a + w)),
+                            _mm512_loadu_si512((const void *)(b + w)));
+        __m512i x1 =
+            _mm512_or_si512(_mm512_loadu_si512((const void *)(a + w + 8)),
+                            _mm512_loadu_si512((const void *)(b + w + 8)));
+        _mm512_storeu_si512((void *)(dst + w), x0);
+        _mm512_storeu_si512((void *)(dst + w + 8), x1);
+    }
+    for (; w < words; w++)
+        dst[w] = a[w] | b[w];
+}
+
+__attribute__((target("avx512f"))) static void
+repro_oracc_avx512(uint64_t *dst, const uint64_t *src, int64_t words) {
+    int64_t w = 0;
+    for (; w + 16 <= words; w += 16) {
+        __m512i x0 =
+            _mm512_or_si512(_mm512_loadu_si512((const void *)(dst + w)),
+                            _mm512_loadu_si512((const void *)(src + w)));
+        __m512i x1 =
+            _mm512_or_si512(_mm512_loadu_si512((const void *)(dst + w + 8)),
+                            _mm512_loadu_si512((const void *)(src + w + 8)));
+        _mm512_storeu_si512((void *)(dst + w), x0);
+        _mm512_storeu_si512((void *)(dst + w + 8), x1);
+    }
+    for (; w < words; w++)
+        dst[w] |= src[w];
+}
+
+/* POPCNT is a scalar instruction (no vector lanes), so this variant is
+ * installed whenever the CPU has it — including level 0, where it keeps
+ * the scalar control honest about vectorization rather than measuring a
+ * software-popcount regression. */
+__attribute__((target("popcnt"))) static int64_t
+repro_missing_popcnt(const uint64_t *row, const uint64_t *mask,
+                     int64_t words) {
+    int64_t missing = 0;
+    for (int64_t w = 0; w < words; w++)
+        missing += __builtin_popcountll(mask[w] & ~row[w]);
+    return missing;
+}
+
+/* _mm512_andnot_si512(a, b) computes ~a & b, so the operand order below
+ * yields mask & ~row. */
+__attribute__((target("avx512f,avx512vpopcntdq"))) static int64_t
+repro_missing_avx512(const uint64_t *row, const uint64_t *mask,
+                     int64_t words) {
+    int64_t w = 0;
+    __m512i acc = _mm512_setzero_si512();
+    for (; w + 8 <= words; w += 8) {
+        __m512i d = _mm512_loadu_si512((const void *)(row + w));
+        __m512i m = _mm512_loadu_si512((const void *)(mask + w));
+        acc = _mm512_add_epi64(acc,
+                               _mm512_popcnt_epi64(_mm512_andnot_si512(d, m)));
+    }
+    int64_t missing = _mm512_reduce_add_epi64(acc);
+    for (; w < words; w++)
+        missing += __builtin_popcountll(mask[w] & ~row[w]);
+    return missing;
+}
+
+__attribute__((target("avx2"))) static void
+repro_fgather_avx2(const uint64_t *row, const int32_t *aw, int64_t m,
+                   int64_t base, uint64_t *val, int64_t *lin) {
+    int64_t j = 0;
+    const __m256i vbase = _mm256_set1_epi64x(base);
+    for (; j + 4 <= m; j += 4) {
+        __m128i idx = _mm_loadu_si128((const __m128i *)(aw + j));
+        __m256i v = _mm256_i32gather_epi64((const long long *)row, idx, 8);
+        __m256i l = _mm256_add_epi64(vbase, _mm256_cvtepi32_epi64(idx));
+        _mm256_storeu_si256((__m256i *)(val + j), v);
+        _mm256_storeu_si256((__m256i *)(lin + j), l);
+    }
+    for (; j < m; j++) {
+        const int64_t w = aw[j];
+        val[j] = row[w];
+        lin[j] = base + w;
+    }
+}
+
+#endif /* REPRO_SIMD_X86 */
+
+static repro_or2_fn repro_or2 = repro_or2_scalar;
+static repro_oracc_fn repro_oracc = repro_oracc_scalar;
+static repro_missing_fn repro_missing = repro_missing_plain;
+static repro_fgather_fn repro_fgather = repro_fgather_scalar;
+static int repro_simd_level = 0;
+
+int repro_simd_detect(void) {
+#ifdef REPRO_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vpopcntdq"))
+        return 3;
+    if (__builtin_cpu_supports("avx2"))
+        return 2;
+    if (__builtin_cpu_supports("sse2"))
+        return 1;
+#endif
+    return 0;
+}
+
+/* Install one SIMD level (clamped to what the CPU supports) into the
+ * dispatch pointers; returns the level actually installed.  Must not be
+ * called while sharded jobs are in flight — in practice it runs once at
+ * import and from tests that own the process. */
+int repro_simd_set(int level) {
+    const int cap = repro_simd_detect();
+    if (level > cap)
+        level = cap;
+    if (level < 0)
+        level = 0;
+    repro_or2 = repro_or2_scalar;
+    repro_oracc = repro_oracc_scalar;
+    repro_missing = repro_missing_plain;
+    repro_fgather = repro_fgather_scalar;
+#ifdef REPRO_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("popcnt"))
+        repro_missing = repro_missing_popcnt;
+    if (level >= 1) {
+        repro_or2 = repro_or2_sse2;
+        repro_oracc = repro_oracc_sse2;
+    }
+    if (level >= 2) {
+        repro_or2 = repro_or2_avx2;
+        repro_oracc = repro_oracc_avx2;
+        repro_fgather = repro_fgather_avx2;
+    }
+    if (level >= 3) {
+        repro_or2 = repro_or2_avx512;
+        repro_oracc = repro_oracc_avx512;
+        repro_missing = repro_missing_avx512;
+    }
+#endif
+    repro_simd_level = level;
+    return level;
+}
+
+int repro_simd_active(void) { return repro_simd_level; }
+
+__attribute__((constructor)) static void repro_simd_init(void) {
+    repro_simd_set(repro_simd_detect());
+}
 
 /* ------------------------------------------------------------------ *
  * Full-round kernels in "swap" form.
@@ -118,9 +431,16 @@ static void repro_sender_csr(const int64_t *src, const int64_t *dst,
     }
 }
 
+/* `mask`/`deficits` (both NULLable, must be set together) fuse the
+ * completion recount into the round: rows that get OR-updated have their
+ * deficit recomputed while the freshly written row is still in cache.
+ * The semantics are IN-OUT — memcpy'd rows are NOT written, because an
+ * unchanged row's previously recorded deficit is still correct — which
+ * is what lets the caller drop its separate recount pass entirely. */
 static void repro_swap_rows(const uint64_t *cur, uint64_t *next,
                             const int64_t *off, const int64_t *adj,
-                            int64_t lo, int64_t hi, int64_t words) {
+                            int64_t lo, int64_t hi, int64_t words,
+                            const uint64_t *mask, int64_t *deficits) {
     for (int64_t r = lo; r < hi; r++) {
         const int64_t start = r ? off[r - 1] : 0;
         const int64_t end = off[r];
@@ -130,14 +450,90 @@ static void repro_swap_rows(const uint64_t *cur, uint64_t *next,
             memcpy(dst, src, (size_t)words * sizeof(uint64_t));
             continue;
         }
-        const uint64_t *first = cur + adj[start] * words;
-        for (int64_t w = 0; w < words; w++)
-            dst[w] = src[w] | first[w];
-        for (int64_t j = start + 1; j < end; j++) {
-            const uint64_t *p = cur + adj[j] * words;
-            for (int64_t w = 0; w < words; w++)
-                dst[w] |= p[w];
+        repro_or2(dst, src, cur + adj[start] * words, words);
+        for (int64_t j = start + 1; j < end; j++)
+            repro_oracc(dst, cur + adj[j] * words, words);
+        if (deficits != NULL)
+            deficits[r] = repro_missing(dst, mask, words);
+    }
+}
+
+/* Saturation-filtered CSR build.  Edges into an already-complete receiver
+ * are dropped outright (its row cannot change).  Edges FROM a complete
+ * sender mark the receiver "promoted": a complete row equals the full
+ * mask row exactly (subset invariant), so ORing it in is equivalent to
+ * assigning the full row — the swap pass handles promoted rows with one
+ * memcpy instead of any ORs.  Count and fill passes use the identical
+ * predicate, so the cursors line up; a promoted row may still own adj
+ * entries from its incomplete senders, which the swap pass ignores
+ * (their contribution is a subset of the full row). */
+static void repro_sender_csr_f(const int64_t *src, const int64_t *dst,
+                               int64_t k, int64_t n, int both,
+                               const uint8_t *complete, uint8_t *promoted,
+                               int64_t *off, int64_t *adj) {
+    memset(off, 0, (size_t)(n + 1) * sizeof(int64_t));
+    for (int64_t i = 0; i < k; i++) {
+        const int64_t s = src[i], d = dst[i];
+        if (!complete[d]) {
+            if (complete[s])
+                promoted[d] = 1;
+            else
+                off[d]++;
         }
+        if (both && !complete[s]) {
+            if (complete[d])
+                promoted[s] = 1;
+            else
+                off[s]++;
+        }
+    }
+    int64_t run = 0;
+    for (int64_t r = 0; r < n; r++) {
+        const int64_t c = off[r];
+        off[r] = run;
+        run += c;
+    }
+    off[n] = run;
+    for (int64_t i = 0; i < k; i++) {
+        const int64_t s = src[i], d = dst[i];
+        if (!complete[d] && !complete[s])
+            adj[off[d]++] = s;
+        if (both && !complete[s] && !complete[d])
+            adj[off[s]++] = d;
+    }
+}
+
+/* Swap pass over a filtered CSR.  Promoted rows are assigned the full
+ * mask row (deficit 0); complete rows have no edges by construction and
+ * fall through to the memcpy path, which copies their (already full)
+ * row unchanged.  Bit-identical to the unfiltered pass over the same
+ * channels — see docs/architecture.md for the argument. */
+static void repro_swap_rows_f(const uint64_t *cur, uint64_t *next,
+                              const int64_t *off, const int64_t *adj,
+                              int64_t lo, int64_t hi, int64_t words,
+                              const uint8_t *promoted,
+                              const uint64_t *full_row,
+                              const uint64_t *mask, int64_t *deficits) {
+    for (int64_t r = lo; r < hi; r++) {
+        uint64_t *dst = next + r * words;
+        if (promoted[r]) {
+            memcpy(dst, full_row, (size_t)words * sizeof(uint64_t));
+            if (deficits != NULL)
+                deficits[r] = 0;
+            continue;
+        }
+        const int64_t start = r ? off[r - 1] : 0;
+        const int64_t end = off[r];
+        const uint64_t *src = cur + r * words;
+        if (start == end) {
+            memcpy(dst, src, (size_t)words * sizeof(uint64_t));
+            continue;
+        }
+        repro_or2(dst, src, cur + adj[start] * words, words);
+        for (int64_t j = start + 1; j < end; j++)
+            repro_oracc(dst, cur + adj[j] * words, words);
+        if (deficits != NULL)
+            deficits[r] = repro_missing(dst, mask, words);
     }
 }
 
@@ -147,9 +543,27 @@ static void repro_swap_rows(const uint64_t *cur, uint64_t *next,
 void repro_exchange(const uint64_t *cur, uint64_t *next,
                     const int64_t *callers, const int64_t *targets,
                     int64_t k, int64_t n, int64_t words,
-                    int64_t *off, int64_t *adj) {
+                    int64_t *off, int64_t *adj,
+                    const uint64_t *mask, int64_t *deficits) {
     repro_sender_csr(callers, targets, k, n, 1, off, adj);
-    repro_swap_rows(cur, next, off, adj, 0, n, words);
+    repro_swap_rows(cur, next, off, adj, 0, n, words, mask, deficits);
+}
+
+/* Saturation-filtered push-pull round: `complete` (n uint8 flags) marks
+ * rows already holding every required bit, `promoted` (n uint8, caller
+ * zeroes it) reports rows assigned the `full_row` mask row this round,
+ * and the fused deficit write covers OR-updated and promoted rows. */
+void repro_exchange_f(const uint64_t *cur, uint64_t *next,
+                      const int64_t *callers, const int64_t *targets,
+                      int64_t k, int64_t n, int64_t words,
+                      int64_t *off, int64_t *adj,
+                      const uint8_t *complete, uint8_t *promoted,
+                      const uint64_t *full_row,
+                      const uint64_t *mask, int64_t *deficits) {
+    repro_sender_csr_f(callers, targets, k, n, 1, complete, promoted, off,
+                       adj);
+    repro_swap_rows_f(cur, next, off, adj, 0, n, words, promoted, full_row,
+                      mask, deficits);
 }
 
 /* One-directional variant: dst[i] learns src[i]'s start-of-round row. */
@@ -158,7 +572,7 @@ void repro_push_round(const uint64_t *cur, uint64_t *next,
                       int64_t k, int64_t n, int64_t words,
                       int64_t *off, int64_t *adj) {
     repro_sender_csr(src, dst, k, n, 0, off, adj);
-    repro_swap_rows(cur, next, off, adj, 0, n, words);
+    repro_swap_rows(cur, next, off, adj, 0, n, words, NULL, NULL);
 }
 
 /* OR the listed gathered rows into each local row of `block`: row r gains
@@ -176,11 +590,8 @@ static void repro_or_rows(uint64_t *block, const uint64_t *gathered,
         if (start == end)
             continue;
         uint64_t *dst = block + r * words;
-        for (int64_t j = start; j < end; j++) {
-            const uint64_t *p = gathered + adj[j] * words;
-            for (int64_t w = 0; w < words; w++)
-                dst[w] |= p[w];
-        }
+        for (int64_t j = start; j < end; j++)
+            repro_oracc(dst, gathered + adj[j] * words, words);
     }
 }
 
@@ -202,13 +613,8 @@ void repro_block_round(uint64_t *block, const uint64_t *gathered,
 void repro_scatter_or(uint64_t *data, const uint64_t *source,
                       const int64_t *src, const int64_t *dst,
                       int64_t k, int64_t words) {
-    for (int64_t i = 0; i < k; i++) {
-        uint64_t *d = data + dst[i] * words;
-        const uint64_t *s = source + src[i] * words;
-        for (int64_t w = 0; w < words; w++) {
-            d[w] |= s[w];
-        }
-    }
+    for (int64_t i = 0; i < k; i++)
+        repro_oracc(data + dst[i] * words, source + src[i] * words, words);
 }
 
 /* The frontier (sparsity-aware) transmission pass.  Every sender row lists
@@ -231,16 +637,10 @@ void repro_frontier_scatter(uint64_t *data, int32_t *active, int64_t *nnz,
     int64_t p = 0;
     for (int64_t i = 0; i < k; i++) {
         const int64_t s = src[i];
-        const uint64_t *row = data + s * words;
-        const int32_t *aw = active + s * cap;
         const int64_t m = nnz[s];
-        const int64_t base = dst[i] * words;
-        for (int64_t j = 0; j < m; j++) {
-            const int64_t w = aw[j];
-            val_buf[p] = row[w];
-            lin_buf[p] = base + w;
-            p++;
-        }
+        repro_fgather(data + s * words, active + s * cap, m, dst[i] * words,
+                      val_buf + p, lin_buf + p);
+        p += m;
     }
     for (int64_t q = 0; q < p; q++) {
         const int64_t lin = lin_buf[q];
@@ -269,14 +669,8 @@ void repro_frontier_scatter(uint64_t *data, int32_t *active, int64_t *nnz,
 void repro_recount(const uint64_t *data, const uint64_t *mask,
                    const int64_t *rows, int64_t k, int64_t words,
                    int64_t *deficits) {
-    for (int64_t i = 0; i < k; i++) {
-        const uint64_t *d = data + rows[i] * words;
-        int64_t missing = 0;
-        for (int64_t w = 0; w < words; w++) {
-            missing += __builtin_popcountll(mask[w] & ~d[w]);
-        }
-        deficits[i] = missing;
-    }
+    for (int64_t i = 0; i < k; i++)
+        deficits[i] = repro_missing(data + rows[i] * words, mask, words);
 }
 
 /* ==================================================================== *
@@ -482,24 +876,52 @@ typedef struct {
     const int64_t *off;
     const int64_t *adj;
     int64_t n, words;
+    const uint8_t *promoted; /* non-NULL selects the filtered row pass */
+    const uint64_t *full_row;
+    const uint64_t *mask;
+    int64_t *deficits;
 } repro_swap_args;
 
 static void repro_swap_shard(int64_t tid, int64_t T, void *p) {
     repro_swap_args *a = (repro_swap_args *)p;
     int64_t lo, hi;
     repro_shard_range(a->n, tid, T, &lo, &hi);
-    repro_swap_rows(a->cur, a->next, a->off, a->adj, lo, hi, a->words);
+    if (a->promoted != NULL)
+        repro_swap_rows_f(a->cur, a->next, a->off, a->adj, lo, hi, a->words,
+                          a->promoted, a->full_row, a->mask, a->deficits);
+    else
+        repro_swap_rows(a->cur, a->next, a->off, a->adj, lo, hi, a->words,
+                        a->mask, a->deficits);
 }
 
 /* The CSR build is O(k) integer work — serial on the calling thread —
  * and the row pass shards over disjoint row ranges reading only the
- * immutable `cur`, so every shard count produces identical bits. */
+ * immutable `cur` (deficit writes land in the shard's own rows), so
+ * every shard count produces identical bits. */
 void repro_exchange_mt(const uint64_t *cur, uint64_t *next,
                        const int64_t *callers, const int64_t *targets,
                        int64_t k, int64_t n, int64_t words,
-                       int64_t *off, int64_t *adj, int64_t nshards) {
+                       int64_t *off, int64_t *adj,
+                       const uint64_t *mask, int64_t *deficits,
+                       int64_t nshards) {
     repro_sender_csr(callers, targets, k, n, 1, off, adj);
-    repro_swap_args a = {cur, next, off, adj, n, words};
+    repro_swap_args a = {cur,  next, off,  adj,     n,
+                         words, NULL, NULL, mask, deficits};
+    repro_run_sharded(repro_swap_shard, &a, nshards);
+}
+
+void repro_exchange_f_mt(const uint64_t *cur, uint64_t *next,
+                         const int64_t *callers, const int64_t *targets,
+                         int64_t k, int64_t n, int64_t words,
+                         int64_t *off, int64_t *adj,
+                         const uint8_t *complete, uint8_t *promoted,
+                         const uint64_t *full_row,
+                         const uint64_t *mask, int64_t *deficits,
+                         int64_t nshards) {
+    repro_sender_csr_f(callers, targets, k, n, 1, complete, promoted, off,
+                       adj);
+    repro_swap_args a = {cur,   next,     off,      adj,  n,
+                         words, promoted, full_row, mask, deficits};
     repro_run_sharded(repro_swap_shard, &a, nshards);
 }
 
@@ -508,7 +930,8 @@ void repro_push_round_mt(const uint64_t *cur, uint64_t *next,
                          int64_t k, int64_t n, int64_t words,
                          int64_t *off, int64_t *adj, int64_t nshards) {
     repro_sender_csr(src, dst, k, n, 0, off, adj);
-    repro_swap_args a = {cur, next, off, adj, n, words};
+    repro_swap_args a = {cur,  next, off,  adj,  n,
+                        words, NULL, NULL, NULL, NULL};
     repro_run_sharded(repro_swap_shard, &a, nshards);
 }
 
@@ -559,16 +982,9 @@ static void repro_frontier_gather_shard(int64_t tid, int64_t T, void *pa) {
     repro_shard_range(a->k, tid, T, &lo, &hi);
     for (int64_t i = lo; i < hi; i++) {
         const int64_t s = a->src[i];
-        const uint64_t *row = a->data + s * a->words;
-        const int32_t *aw = a->active + s * a->cap;
-        const int64_t m = a->nnz[s];
-        const int64_t base = a->dst[i] * a->words;
-        int64_t p = a->off[i];
-        for (int64_t j = 0; j < m; j++, p++) {
-            const int64_t w = aw[j];
-            a->val_buf[p] = row[w];
-            a->lin_buf[p] = base + w;
-        }
+        repro_fgather(a->data + s * a->words, a->active + s * a->cap,
+                      a->nnz[s], a->dst[i] * a->words,
+                      a->val_buf + a->off[i], a->lin_buf + a->off[i]);
     }
 }
 
@@ -643,13 +1059,9 @@ static void repro_recount_shard(int64_t tid, int64_t T, void *pa) {
     repro_recount_args *a = (repro_recount_args *)pa;
     int64_t lo, hi;
     repro_shard_range(a->k, tid, T, &lo, &hi);
-    for (int64_t i = lo; i < hi; i++) {
-        const uint64_t *d = a->data + a->rows[i] * a->words;
-        int64_t missing = 0;
-        for (int64_t w = 0; w < a->words; w++)
-            missing += __builtin_popcountll(a->mask[w] & ~d[w]);
-        a->deficits[i] = missing;
-    }
+    for (int64_t i = lo; i < hi; i++)
+        a->deficits[i] =
+            repro_missing(a->data + a->rows[i] * a->words, a->mask, a->words);
 }
 
 void repro_recount_mt(const uint64_t *data, const uint64_t *mask,
@@ -664,10 +1076,12 @@ void repro_recount_mt(const uint64_t *data, const uint64_t *mask,
 def _cpu_signature() -> str:
     """A machine identifier for the cache key.
 
-    The library is compiled with ``-march=native``, so a cache shared across
-    heterogeneous CPUs (e.g. TMPDIR or HOME on a cluster filesystem) must
-    not serve a binary built for a different microarchitecture.  The CPU
-    feature flags are the closest portable proxy.
+    The SIMD code paths are selected at *runtime*, so the binary itself is
+    portable across x86-64 machines — but it is tuned with ``-mtune=native``
+    and the safest policy for a cache shared across heterogeneous CPUs
+    (e.g. TMPDIR or HOME on a cluster filesystem) is still one binary per
+    microarchitecture.  The CPU feature flags are the closest portable
+    proxy.
     """
     parts = [platform.machine()]
     try:
@@ -707,13 +1121,24 @@ def _cache_dir(digest: str) -> Optional[str]:
     return cache_dir
 
 
+#: Build flags.  Deliberately NOT ``-march=native``: the command-line ISA
+#: set is additive with per-function ``target`` attributes, so with
+#: ``-march=native`` an "avx2" dispatch variant could legally be compiled
+#: with AVX-512 instructions and the per-level timings (and the scalar
+#: control) would lie.  ``-mtune=native`` keeps scheduling tuned for the
+#: build host without widening any function's ISA.
+_CFLAGS = ("-O3", "-mtune=native", "-pthread", "-shared", "-fPIC")
+
+
 def _build() -> Optional[ctypes.CDLL]:
     if os.environ.get("REPRO_DISABLE_CKERNEL"):
         return None
     compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if compiler is None:
         return None
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    digest = hashlib.sha256(
+        ("|".join(_CFLAGS) + "\n" + _SOURCE).encode()
+    ).hexdigest()[:16]
     cache_dir = _cache_dir(f"{digest}-{_cpu_signature()}")
     if cache_dir is None:
         return None
@@ -725,17 +1150,7 @@ def _build() -> Optional[ctypes.CDLL]:
                 fh.write(_SOURCE)
             tmp_path = lib_path + f".tmp{os.getpid()}"
             subprocess.run(
-                [
-                    compiler,
-                    "-O3",
-                    "-march=native",
-                    "-pthread",
-                    "-shared",
-                    "-fPIC",
-                    src_path,
-                    "-o",
-                    tmp_path,
-                ],
+                [compiler, *_CFLAGS, src_path, "-o", tmp_path],
                 check=True,
                 capture_output=True,
                 timeout=120,
@@ -757,8 +1172,21 @@ def _build() -> Optional[ctypes.CDLL]:
     lib.repro_frontier_scatter.restype = None
     lib.repro_recount.argtypes = [u64p, u64p, i64p, i64, i64, i64p]
     lib.repro_recount.restype = None
-    lib.repro_exchange.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p]
+    lib.repro_exchange.argtypes = [
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, u64p, i64p,
+    ]
     lib.repro_exchange.restype = None
+    lib.repro_exchange_f.argtypes = [
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p,
+        u8p, u8p, u64p, u64p, i64p,
+    ]
+    lib.repro_exchange_f.restype = None
+    lib.repro_simd_detect.argtypes = []
+    lib.repro_simd_detect.restype = ctypes.c_int
+    lib.repro_simd_set.argtypes = [ctypes.c_int]
+    lib.repro_simd_set.restype = ctypes.c_int
+    lib.repro_simd_active.argtypes = []
+    lib.repro_simd_active.restype = ctypes.c_int
     lib.repro_push_round.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p]
     lib.repro_push_round.restype = None
     lib.repro_block_round.argtypes = [
@@ -774,9 +1202,14 @@ def _build() -> Optional[ctypes.CDLL]:
     lib.repro_scatter_or_mt.argtypes = [u64p, u64p, i64p, i64p, i64, i64, i64, i64]
     lib.repro_scatter_or_mt.restype = None
     lib.repro_exchange_mt.argtypes = [
-        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, i64,
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, u64p, i64p, i64,
     ]
     lib.repro_exchange_mt.restype = None
+    lib.repro_exchange_f_mt.argtypes = [
+        u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p,
+        u8p, u8p, u64p, u64p, i64p, i64,
+    ]
+    lib.repro_exchange_f_mt.restype = None
     lib.repro_push_round_mt.argtypes = [
         u64p, u64p, i64p, i64p, i64, i64, i64, i64p, i64p, i64,
     ]
@@ -793,6 +1226,9 @@ def _build() -> Optional[ctypes.CDLL]:
 
 _LIB = _build()
 
+if _LIB is not None and os.environ.get("REPRO_DISABLE_SIMD"):
+    _LIB.repro_simd_set(0)
+
 _U64P = ctypes.POINTER(ctypes.c_uint64)
 _I64P = ctypes.POINTER(ctypes.c_int64)
 
@@ -800,6 +1236,44 @@ _I64P = ctypes.POINTER(ctypes.c_int64)
 def available() -> bool:
     """Whether the compiled kernels are usable on this machine."""
     return _LIB is not None
+
+
+#: Dispatch level names, indexed by the C-side level integer.
+SIMD_LEVELS = ("scalar", "sse2", "avx2", "avx512")
+
+
+def simd_detected() -> int:
+    """The highest SIMD level this CPU supports (0 when no compiled lib)."""
+    if _LIB is None:
+        return 0
+    return int(_LIB.repro_simd_detect())
+
+
+def simd_active() -> int:
+    """The SIMD level currently installed in the dispatch pointers."""
+    if _LIB is None:
+        return 0
+    return int(_LIB.repro_simd_active())
+
+
+def set_simd_level(level: int) -> int:
+    """Install ``level`` (clamped to hardware support); return the result.
+
+    Level 0 is the honest scalar control (the hardware-POPCNT deficit
+    counter stays installed when the CPU has it — POPCNT is not a vector
+    instruction).  Intended for tests and the SIMD micro-benchmarks; must
+    not race in-flight sharded kernels.
+    """
+    if _LIB is None:
+        return 0
+    return int(_LIB.repro_simd_set(ctypes.c_int(int(level))))
+
+
+def simd_name(level: Optional[int] = None) -> str:
+    """Human-readable name of ``level`` (default: the active level)."""
+    if level is None:
+        level = simd_active()
+    return SIMD_LEVELS[max(0, min(int(level), len(SIMD_LEVELS) - 1))]
 
 
 def _u64(arr: np.ndarray):
@@ -839,6 +1313,8 @@ def exchange(
     targets: np.ndarray,
     off: np.ndarray,
     adj: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    deficits: Optional[np.ndarray] = None,
 ) -> None:
     """Apply one push-pull round in swap form.
 
@@ -847,6 +1323,13 @@ def exchange(
     CSR buffers (``off``: ``n + 1`` int64 slots, ``adj``: at least
     ``2 * callers.size``).  **The caller must swap the two buffers
     afterwards**; this halves the memory traffic of snapshot + RMW.
+
+    When ``mask``/``deficits`` are given (a ``words`` uint64 row and an
+    ``n`` int64 array), the kernel fuses the completion recount into the
+    round: every OR-updated row gets ``deficits[r] = popcount(mask &
+    ~row)`` written while the row is hot.  Untouched rows keep their
+    prior deficit values (which remain correct — the rows did not
+    change), so ``deficits`` must already hold valid counts on entry.
     """
     _LIB.repro_exchange(
         _u64(data),
@@ -858,6 +1341,49 @@ def exchange(
         ctypes.c_int64(data.shape[1]),
         _i64(off),
         _i64(adj),
+        _u64(mask) if mask is not None else None,
+        _i64(deficits) if deficits is not None else None,
+    )
+
+
+def exchange_filtered(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    callers: np.ndarray,
+    targets: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
+    complete: np.ndarray,
+    promoted: np.ndarray,
+    full_row: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    deficits: Optional[np.ndarray] = None,
+) -> None:
+    """Saturation-filtered :func:`exchange`.
+
+    ``complete`` is an ``n`` uint8 array flagging rows that already hold
+    every required bit; edges into them are dropped and edges from them
+    promote their receiver to a single ``full_row`` memcpy.  ``promoted``
+    is an ``n`` uint8 output array the caller must zero beforehand; it
+    reports the rows assigned ``full_row`` this round.  Bit-identical to
+    the unfiltered kernel under the subset invariant (every row ⊆
+    ``full_row``, complete rows == ``full_row``).
+    """
+    _LIB.repro_exchange_f(
+        _u64(data),
+        _u64(scratch),
+        _i64(callers),
+        _i64(targets),
+        ctypes.c_int64(callers.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
+        complete.ctypes.data_as(_U8P),
+        promoted.ctypes.data_as(_U8P),
+        _u64(full_row),
+        _u64(mask) if mask is not None else None,
+        _i64(deficits) if deficits is not None else None,
     )
 
 
@@ -1037,6 +1563,8 @@ def exchange_mt(
     off: np.ndarray,
     adj: np.ndarray,
     shards: int,
+    mask: Optional[np.ndarray] = None,
+    deficits: Optional[np.ndarray] = None,
 ) -> None:
     """Sharded :func:`exchange` (serial CSR build + row-sharded swap pass)."""
     _LIB.repro_exchange_mt(
@@ -1049,6 +1577,42 @@ def exchange_mt(
         ctypes.c_int64(data.shape[1]),
         _i64(off),
         _i64(adj),
+        _u64(mask) if mask is not None else None,
+        _i64(deficits) if deficits is not None else None,
+        ctypes.c_int64(shards),
+    )
+
+
+def exchange_filtered_mt(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    callers: np.ndarray,
+    targets: np.ndarray,
+    off: np.ndarray,
+    adj: np.ndarray,
+    complete: np.ndarray,
+    promoted: np.ndarray,
+    full_row: np.ndarray,
+    shards: int,
+    mask: Optional[np.ndarray] = None,
+    deficits: Optional[np.ndarray] = None,
+) -> None:
+    """Sharded :func:`exchange_filtered`; bit-identical at any shard count."""
+    _LIB.repro_exchange_f_mt(
+        _u64(data),
+        _u64(scratch),
+        _i64(callers),
+        _i64(targets),
+        ctypes.c_int64(callers.size),
+        ctypes.c_int64(data.shape[0]),
+        ctypes.c_int64(data.shape[1]),
+        _i64(off),
+        _i64(adj),
+        complete.ctypes.data_as(_U8P),
+        promoted.ctypes.data_as(_U8P),
+        _u64(full_row),
+        _u64(mask) if mask is not None else None,
+        _i64(deficits) if deficits is not None else None,
         ctypes.c_int64(shards),
     )
 

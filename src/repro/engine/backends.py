@@ -63,8 +63,18 @@ __all__ = [
     "default_max_threads",
     "resolve",
     "set_active",
+    "simd_info",
     "use",
 ]
+
+
+def simd_info() -> Dict[str, object]:
+    """The compiled library's SIMD dispatch state for report headers."""
+    return {
+        "active": _ckernel.simd_name(),
+        "detected": _ckernel.simd_name(_ckernel.simd_detected()),
+        "disabled": bool(os.environ.get("REPRO_DISABLE_SIMD")),
+    }
 
 #: Word-units (64-bit word OR-or-copy operations) of batch work per shard.
 #: Measured on the committed baseline machine: pool dispatch costs ~5 us per
@@ -116,9 +126,23 @@ class KernelBackend:
     def scatter_or(self, data, source, senders, receivers) -> None:
         raise NotImplementedError
 
-    def exchange(self, data, scratch, callers, targets, off, adj) -> None:
+    def exchange(
+        self, data, scratch, callers, targets, off, adj,
+        mask=None, deficits=None,
+    ) -> None:
         """Swap-form round: writes the next state into ``scratch``; the
-        caller swaps the buffers afterwards (see ``_ckernel.exchange``)."""
+        caller swaps the buffers afterwards (see ``_ckernel.exchange``).
+        ``mask``/``deficits`` opt into the fused completion recount."""
+        raise NotImplementedError
+
+    def exchange_filtered(
+        self, data, scratch, callers, targets, off, adj,
+        complete, promoted, full_row, mask=None, deficits=None,
+    ) -> None:
+        """Saturation-filtered swap-form round (see
+        ``_ckernel.exchange_filtered``): complete receivers keep their
+        rows, receivers of complete senders get one ``full_row`` memcpy
+        (reported in ``promoted``)."""
         raise NotImplementedError
 
     def push_round(self, data, scratch, senders, receivers, off, adj) -> None:
@@ -160,11 +184,33 @@ class CSerialBackend(KernelBackend):
         # Checked live (not cached) so tests may stub out the library.
         return _ckernel.available()
 
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "compiled": self.use_compiled(),
+            "max_threads": 1,
+            "simd": simd_info(),
+        }
+
     def scatter_or(self, data, source, senders, receivers) -> None:
         _ckernel.scatter_or(data, source, senders, receivers)
 
-    def exchange(self, data, scratch, callers, targets, off, adj) -> None:
-        _ckernel.exchange(data, scratch, callers, targets, off, adj)
+    def exchange(
+        self, data, scratch, callers, targets, off, adj,
+        mask=None, deficits=None,
+    ) -> None:
+        _ckernel.exchange(
+            data, scratch, callers, targets, off, adj, mask, deficits
+        )
+
+    def exchange_filtered(
+        self, data, scratch, callers, targets, off, adj,
+        complete, promoted, full_row, mask=None, deficits=None,
+    ) -> None:
+        _ckernel.exchange_filtered(
+            data, scratch, callers, targets, off, adj,
+            complete, promoted, full_row, mask, deficits,
+        )
 
     def push_round(self, data, scratch, senders, receivers, off, adj) -> None:
         _ckernel.push_round(data, scratch, senders, receivers, off, adj)
@@ -220,6 +266,7 @@ class CThreadsBackend(CSerialBackend):
             "compiled": self.use_compiled(),
             "max_threads": self.max_threads,
             "shard_work": self.shard_work,
+            "simd": simd_info(),
         }
 
     def threads_for(self, work_units: int) -> int:
@@ -246,15 +293,40 @@ class CThreadsBackend(CSerialBackend):
         else:
             _ckernel.scatter_or(data, source, senders, receivers)
 
-    def exchange(self, data, scratch, callers, targets, off, adj) -> None:
+    def exchange(
+        self, data, scratch, callers, targets, off, adj,
+        mask=None, deficits=None,
+    ) -> None:
         # Every row is read and written once, plus a partner row per
         # channel direction.
         n, words = data.shape
         shards = self._shards((2 * n + 2 * callers.size) * words)
         if shards > 1:
-            _ckernel.exchange_mt(data, scratch, callers, targets, off, adj, shards)
+            _ckernel.exchange_mt(
+                data, scratch, callers, targets, off, adj, shards,
+                mask, deficits,
+            )
         else:
-            _ckernel.exchange(data, scratch, callers, targets, off, adj)
+            _ckernel.exchange(
+                data, scratch, callers, targets, off, adj, mask, deficits
+            )
+
+    def exchange_filtered(
+        self, data, scratch, callers, targets, off, adj,
+        complete, promoted, full_row, mask=None, deficits=None,
+    ) -> None:
+        n, words = data.shape
+        shards = self._shards((2 * n + 2 * callers.size) * words)
+        if shards > 1:
+            _ckernel.exchange_filtered_mt(
+                data, scratch, callers, targets, off, adj,
+                complete, promoted, full_row, shards, mask, deficits,
+            )
+        else:
+            _ckernel.exchange_filtered(
+                data, scratch, callers, targets, off, adj,
+                complete, promoted, full_row, mask, deficits,
+            )
 
     def push_round(self, data, scratch, senders, receivers, off, adj) -> None:
         n, words = data.shape

@@ -98,7 +98,9 @@ def _n_words(n_bits: int) -> int:
 #: than the row traffic it saves (measured endpoints: -18% at 16k word
 #: matrices, +25% from ~400k up; exchange rounds carry two edges per channel
 #: and amortize the build even at small sizes, so they are not gated).
-_SWAP_MIN_WORK = 1 << 17
+#: ``REPRO_SWAP_MIN_WORK`` overrides the floor so the differential harness
+#: and CI can force the swap/filtered-swap kernels onto tiny matrices.
+_SWAP_MIN_WORK = int(os.environ.get("REPRO_SWAP_MIN_WORK", 1 << 17))
 
 
 def _layered_scatter(
@@ -162,7 +164,7 @@ class KnowledgeStorage:
     the underlying buffer, and non-dense layouts have no resident matrix).
     """
 
-    __slots__ = ("n_nodes", "n_messages", "words")
+    __slots__ = ("n_nodes", "n_messages", "words", "fused_deficits", "filter_stats")
 
     #: Registry tag of the layout family (``dense`` / ``paged`` / ``sparse``).
     layout = "dense"
@@ -177,6 +179,30 @@ class KnowledgeStorage:
         self.n_nodes = int(n_nodes)
         self.n_messages = int(n_messages)
         self.words = _n_words(self.n_messages)
+        #: Whether the most recent :meth:`apply_exchange` call wrote the
+        #: caller's ``deficits_out`` array in-kernel (see that method).
+        #: Callers branch on this to skip their separate recount pass.
+        self.fused_deficits = False
+        #: Saturation-filter counters, accumulated over the state's life:
+        #: filtered rounds seen, directed edges offered to the filter,
+        #: edges dropped (either endpoint already complete), and receiver
+        #: rows promoted by a single full-row assignment.
+        self.filter_stats = {
+            "rounds": 0,
+            "edges": 0,
+            "edges_dropped": 0,
+            "promotions": 0,
+        }
+
+    def _note_filter(
+        self, total_edges: int, kept_edges: int, promotions: int
+    ) -> None:
+        """Accumulate saturation-filter hit counters for one round."""
+        stats = self.filter_stats
+        stats["rounds"] += 1
+        stats["edges"] += int(total_edges)
+        stats["edges_dropped"] += int(total_edges) - int(kept_edges)
+        stats["promotions"] += int(promotions)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -253,8 +279,19 @@ class KnowledgeStorage:
         *,
         complete: Optional[np.ndarray] = None,
         complete_row: Optional[np.ndarray] = None,
+        deficit_mask: Optional[np.ndarray] = None,
+        deficits_out: Optional[np.ndarray] = None,
     ) -> "tuple[np.ndarray, np.ndarray]":
-        """Apply one synchronous push–pull round: ``callers[i] <-> targets[i]``."""
+        """Apply one synchronous push–pull round: ``callers[i] <-> targets[i]``.
+
+        ``deficit_mask``/``deficits_out`` (given together) opt into the
+        fused completion recount: layouts that support it write
+        ``popcount(deficit_mask & ~row)`` into ``deficits_out[r]`` for every
+        row they change (``deficits_out`` must hold valid counts on entry —
+        unchanged rows are left alone) and set :attr:`fused_deficits`;
+        layouts that don't simply ignore the arguments and leave
+        :attr:`fused_deficits` false, in which case the caller recounts.
+        """
         raise NotImplementedError
 
     def add(self, node: int, message: int) -> None:
@@ -486,6 +523,11 @@ class KnowledgeStorage:
             is_promoted[promoted] = True
             keep_push &= ~is_promoted[targets]
             keep_pull &= ~is_promoted[callers]
+        self._note_filter(
+            2 * callers.size,
+            int(keep_push.sum()) + int(keep_pull.sum()),
+            promoted.size,
+        )
         return (
             callers[keep_push],
             targets[keep_push],
@@ -576,9 +618,15 @@ class KnowledgeMatrix(KnowledgeStorage):
         self._csr_off: Optional[np.ndarray] = None
         self._csr_adj: Optional[np.ndarray] = None
         if initialize_own:
+            # Fault the matrix in sequentially before the scattered per-row
+            # writes below: one diagonal bit per row touches every page, and
+            # scattered first-touch faults cost ~2x the sequential ones (the
+            # fill is a no-op on the already-zero pages otherwise).
+            self.data.fill(0)
             upto = min(self.n_nodes, self.n_messages)
-            idx = np.arange(upto)
-            self.data[idx, idx // WORD_BITS] |= np.left_shift(
+            idx = np.arange(upto, dtype=np.int64)
+            flat = self.data.reshape(-1)
+            flat[idx * self.words + idx // WORD_BITS] |= np.left_shift(
                 np.uint64(1), (idx % WORD_BITS).astype(_WORD_DTYPE)
             )
 
@@ -798,6 +846,8 @@ class KnowledgeMatrix(KnowledgeStorage):
         *,
         complete: Optional[np.ndarray] = None,
         complete_row: Optional[np.ndarray] = None,
+        deficit_mask: Optional[np.ndarray] = None,
+        deficits_out: Optional[np.ndarray] = None,
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Apply one synchronous push–pull round: ``callers[i] <-> targets[i]``.
 
@@ -818,7 +868,15 @@ class KnowledgeMatrix(KnowledgeStorage):
         directly assigned ``complete_row``.  This is bit-exact provided every
         participating row is a subset of ``complete_row`` — true whenever
         channels only ever connect alive nodes, because crashed nodes never
-        transmit and their messages never spread.
+        transmit and their messages never spread.  On compiled backends a
+        round where at least half the rows are still in play runs as one
+        saturation-filtered swap-form kernel pass; sparser late rounds take
+        the gather/scatter path below, whose cost scales with the surviving
+        edges.
+
+        ``deficit_mask``/``deficits_out`` fuse the completion recount into
+        the compiled swap-form passes (see :class:`KnowledgeStorage`); the
+        gather/scatter paths leave :attr:`fused_deficits` false.
 
         Returns
         -------
@@ -833,6 +891,7 @@ class KnowledgeMatrix(KnowledgeStorage):
         if callers.shape != targets.shape:
             raise ValueError("callers and targets must have identical shapes")
         empty = np.zeros(0, dtype=np.int64)
+        self.fused_deficits = False
         if callers.size == 0:
             return empty, empty
         if complete is not None and not complete.any():
@@ -851,9 +910,52 @@ class KnowledgeMatrix(KnowledgeStorage):
                 np.ascontiguousarray(targets),
                 off,
                 adj,
+                deficit_mask,
+                deficits_out,
             )
             self.data, self._scratch = self._scratch, self.data
+            self.fused_deficits = deficits_out is not None
             return np.concatenate([callers, targets]), empty
+        if (
+            complete is not None
+            and backend.use_compiled()
+            and self.n_nodes * self.words >= _SWAP_MIN_WORK
+        ):
+            live_rows = int((~complete[callers]).sum()) + int(
+                (~complete[targets]).sum()
+            )
+            if live_rows * 2 >= self.n_nodes:
+                # Filtered swap form: most rows are still in play, so the
+                # full-matrix swap pass beats gathering the surviving edges.
+                # The kernel drops edges into complete receivers, memcpys
+                # promoted rows from ``complete_row``, and fuses deficits.
+                self._ensure_scratch()
+                off, adj = self._csr_buffers(2 * callers.size)
+                promoted_u8 = np.zeros(self.n_nodes, dtype=np.uint8)
+                backend.exchange_filtered(
+                    self.data,
+                    self._scratch,
+                    np.ascontiguousarray(callers),
+                    np.ascontiguousarray(targets),
+                    off,
+                    adj,
+                    np.ascontiguousarray(complete).view(np.uint8),
+                    promoted_u8,
+                    np.ascontiguousarray(complete_row),
+                    deficit_mask,
+                    deficits_out,
+                )
+                self.data, self._scratch = self._scratch, self.data
+                self.fused_deficits = deficits_out is not None
+                promoted = np.flatnonzero(promoted_u8)
+                touched = np.concatenate([callers, targets])
+                if promoted.size:
+                    # Keep the documented disjointness of touched/promoted
+                    # (CompletionTracker counts each promotion exactly once).
+                    touched = touched[promoted_u8[touched] == 0]
+                kept = 2 * int((~complete[callers] & ~complete[targets]).sum())
+                self._note_filter(2 * callers.size, kept, promoted.size)
+                return touched, promoted
         push_s, push_r, pull_s, pull_r, promoted = self._filter_exchange(
             callers, targets, complete
         )
@@ -1047,17 +1149,25 @@ class FrontierKnowledge(KnowledgeMatrix):
         *,
         complete: Optional[np.ndarray] = None,
         complete_row: Optional[np.ndarray] = None,
+        deficit_mask: Optional[np.ndarray] = None,
+        deficits_out: Optional[np.ndarray] = None,
     ) -> "tuple[np.ndarray, np.ndarray]":
         callers = np.asarray(callers, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         if callers.shape != targets.shape:
             raise ValueError("callers and targets must have identical shapes")
         empty = np.zeros(0, dtype=np.int64)
+        self.fused_deficits = False
         if callers.size == 0:
             return empty, empty
         if self._retired:
             return super().apply_exchange(
-                callers, targets, complete=complete, complete_row=complete_row
+                callers,
+                targets,
+                complete=complete,
+                complete_row=complete_row,
+                deficit_mask=deficit_mask,
+                deficits_out=deficits_out,
             )
         if complete is None or not complete.any():
             # Both directions of an exchange read the same start-of-step
@@ -1071,7 +1181,12 @@ class FrontierKnowledge(KnowledgeMatrix):
         # by the time rows saturate the matrix is dense anyway, so everything
         # the parent may have written simply ratchets to the dense path.
         touched, promoted = super().apply_exchange(
-            callers, targets, complete=complete, complete_row=complete_row
+            callers,
+            targets,
+            complete=complete,
+            complete_row=complete_row,
+            deficit_mask=deficit_mask,
+            deficits_out=deficits_out,
         )
         self._dense_rows[callers] = True
         self._mark_dense(targets)
@@ -1311,7 +1426,11 @@ class FrontierKnowledge(KnowledgeMatrix):
 
 #: Minimum row width (in 64-bit words) for the frontier representation to
 #: pay for its bookkeeping; narrower matrices always use the dense kernels.
-_FRONTIER_MIN_WORDS = 64
+#: Re-measured after the SIMD kernels landed (they shifted the break-even
+#: upward — vectorized dense passes got cheaper while the frontier's
+#: per-row bookkeeping did not; sweep in docs/benchmarks.md): whole-protocol
+#: push-pull is a wash at 64-79 words and only wins from ~96 words up.
+_FRONTIER_MIN_WORDS = 96
 
 
 def dense_knowledge(
@@ -1320,9 +1439,9 @@ def dense_knowledge(
     """The dense-family knowledge state for a problem size.
 
     Returns a :class:`FrontierKnowledge` (sparse/dense adaptive) for wide
-    matrices (``>= 64`` words, i.e. ``n_messages >= 4033``); narrow rows are
-    cheap to move whole, so smaller problems stay on the plain dense
-    :class:`KnowledgeMatrix`.  Setting ``REPRO_DISABLE_FRONTIER`` in the
+    matrices (``>= 96`` words, i.e. ``n_messages >= 6081``); narrow rows are
+    cheap to move whole — especially through the SIMD word-OR kernels — so
+    smaller problems stay on the plain dense :class:`KnowledgeMatrix`.  Setting ``REPRO_DISABLE_FRONTIER`` in the
     environment forces the plain matrix at every size.  Both produce
     bit-identical trajectories; the switch exists for A/B benchmarking and
     equivalence testing.

@@ -402,12 +402,18 @@ class PagedKnowledge(KnowledgeStorage):
         *,
         complete: Optional[np.ndarray] = None,
         complete_row: Optional[np.ndarray] = None,
+        deficit_mask: Optional[np.ndarray] = None,
+        deficits_out: Optional[np.ndarray] = None,
     ) -> "tuple[np.ndarray, np.ndarray]":
+        # The block-streamed layouts have no swap-form kernel to fuse the
+        # recount into; deficit_mask/deficits_out are accepted for interface
+        # parity and ignored (fused_deficits stays false, callers recount).
         callers = np.asarray(callers, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         if callers.shape != targets.shape:
             raise ValueError("callers and targets must have identical shapes")
         empty = np.zeros(0, dtype=np.int64)
+        self.fused_deficits = False
         if callers.size == 0:
             return empty, empty
         if complete is not None and not complete.any():
@@ -874,12 +880,18 @@ class SparseKnowledge(KnowledgeStorage):
         *,
         complete: Optional[np.ndarray] = None,
         complete_row: Optional[np.ndarray] = None,
+        deficit_mask: Optional[np.ndarray] = None,
+        deficits_out: Optional[np.ndarray] = None,
     ) -> "tuple[np.ndarray, np.ndarray]":
+        # The block-streamed layouts have no swap-form kernel to fuse the
+        # recount into; deficit_mask/deficits_out are accepted for interface
+        # parity and ignored (fused_deficits stays false, callers recount).
         callers = np.asarray(callers, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         if callers.shape != targets.shape:
             raise ValueError("callers and targets must have identical shapes")
         empty = np.zeros(0, dtype=np.int64)
+        self.fused_deficits = False
         if callers.size == 0:
             return empty, empty
         if complete is not None and not complete.any():

@@ -277,7 +277,7 @@ class TestProtocolTrajectoryEquivalence:
         from repro import erdos_renyi
         from repro.graphs import paper_edge_probability
 
-        n = 4160  # past the adaptive_knowledge width gate (65 words)
+        n = 6208  # past the adaptive_knowledge width gate (97 words)
         return erdos_renyi(n, paper_edge_probability(n), rng=9, require_connected=True)
 
     @pytest.mark.parametrize("protocol_name", ["push-pull", "fast-gossiping", "memory"])
@@ -309,10 +309,12 @@ class TestProtocolTrajectoryEquivalence:
     def test_adaptive_gate(self, monkeypatch):
         monkeypatch.delenv("REPRO_DISABLE_FRONTIER", raising=False)
         monkeypatch.setenv("REPRO_KNOWLEDGE_LAYOUT", "dense")
-        assert isinstance(adaptive_knowledge(64 * 64), FrontierKnowledge)
+        assert isinstance(adaptive_knowledge(96 * 64), FrontierKnowledge)
+        # Below the post-SIMD break-even (96 words) the dense kernels win.
+        assert type(adaptive_knowledge(64 * 64)) is KnowledgeMatrix
         assert type(adaptive_knowledge(1000)) is KnowledgeMatrix
         monkeypatch.setenv("REPRO_DISABLE_FRONTIER", "1")
-        assert type(adaptive_knowledge(64 * 64)) is KnowledgeMatrix
+        assert type(adaptive_knowledge(96 * 64)) is KnowledgeMatrix
 
 
 class TestReplayBatcher:
@@ -357,12 +359,15 @@ class TestReplayBatcher:
         assert counter == [5]  # one merged batch
         assert np.array_equal(batched, self.reference_apply(20, groups))
 
-    def test_sender_collision_forces_flush(self):
-        """A chain (receiver of group 1 sends in group 2) must not merge."""
+    def test_sender_collision_merges_with_compensation(self):
+        """A chain (receiver of group 1 sends in group 2) merges via
+        transitive compensation: the extra snapshot edges reproduce the
+        relayed values in a single batch."""
         groups = self.as_groups(([0], [1]), ([1], [2]), ([2], [3]))
         counter = []
         batched = self.batched_apply(10, groups, counter)
-        assert counter == [1, 1, 1]  # every group flushed separately
+        # One batch: 3 original edges + compensation 0->2, 0->3, 1->3.
+        assert counter == [6]
         ref = self.reference_apply(10, groups)
         assert np.array_equal(batched, ref)
         # The chain actually relays: node 3 must know message 0 after the
@@ -370,6 +375,21 @@ class TestReplayBatcher:
         km = KnowledgeMatrix(10)
         km.data[:] = ref
         assert km.knows(3, 0)
+
+    def test_compensation_budget_forces_flush(self):
+        """A colliding group whose compensation fan-out exceeds the budget is
+        applied after a flush instead (never merged unboundedly)."""
+        n = 600
+        # 200 pending edges all into node 0, then a 1-edge group sent by 0:
+        # compensation would need 200 extra edges > max(64, 2 * 1).
+        groups = self.as_groups(
+            (list(range(100, 300)), [0] * 200),
+            ([0], [1]),
+        )
+        counter = []
+        batched = self.batched_apply(n, groups, counter)
+        assert counter == [200, 1]  # flushed, not compensated
+        assert np.array_equal(batched, self.reference_apply(n, groups))
 
     @pytest.mark.parametrize("seed", range(4))
     def test_random_group_sequences_match_sequential(self, seed):

@@ -66,6 +66,43 @@ def test_programs_match_oracle(layout: str, backend: str) -> None:
             pytest.fail(describe_failure(minimal, layout, backend, final or failure))
 
 
+@pytest.mark.parametrize("layout", HARNESS_LAYOUTS)
+def test_programs_match_oracle_across_simd_levels(layout: str, monkeypatch) -> None:
+    """The same programs, replayed at every SIMD level the CPU supports.
+
+    ``_SWAP_MIN_WORK`` is forced to 0 so the harness's small matrices take
+    the swap-form round kernels (including the saturation-filtered variant
+    behind ``exchange_complete``) instead of staying on the snapshot +
+    scatter path — the SIMD dispatch lives in exactly those kernels.
+    """
+    _require_backend("c")
+    if _ckernel.simd_detected() == 0:
+        pytest.skip("CPU supports no SIMD level beyond scalar")
+    from repro.engine import knowledge as knowledge_mod
+
+    monkeypatch.setattr(knowledge_mod, "_SWAP_MIN_WORK", 0)
+    original = _ckernel.simd_active()
+    try:
+        with backends.use("c"):
+            for level in range(_ckernel.simd_detected() + 1):
+                _ckernel.set_simd_level(level)
+                for k in range(max(1, N_PROGRAMS // 3)):
+                    program = generate_program(BASE_SEED + k)
+                    failure = run_program(program, layout)
+                    if failure is None:
+                        continue
+                    minimal = shrink_program(
+                        program, lambda p: run_program(p, layout) is not None
+                    )
+                    final = run_program(minimal, layout)
+                    pytest.fail(
+                        f"simd level {_ckernel.simd_name(level)}: "
+                        + describe_failure(minimal, layout, "c", final or failure)
+                    )
+    finally:
+        _ckernel.set_simd_level(original)
+
+
 def test_program_generation_is_deterministic() -> None:
     a = generate_program(BASE_SEED)
     b = generate_program(BASE_SEED)
